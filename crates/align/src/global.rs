@@ -1,0 +1,193 @@
+//! Global (Needleman–Wunsch) alignment with affine gaps.
+//!
+//! Used where end-to-end identity matters (e.g. deciding that two
+//! transcripts are the *same* sequence rather than sharing a domain).
+
+use crate::sw::ScoringScheme;
+
+/// Result of a global alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalAlignment {
+    /// Alignment score.
+    pub score: i32,
+    /// Matching columns.
+    pub matches: usize,
+    /// Mismatching columns.
+    pub mismatches: usize,
+    /// Gap columns.
+    pub gaps: usize,
+}
+
+impl GlobalAlignment {
+    /// Total alignment columns.
+    pub fn alignment_len(&self) -> usize {
+        self.matches + self.mismatches + self.gaps
+    }
+
+    /// Fraction of columns that match.
+    pub fn identity(&self) -> f64 {
+        let len = self.alignment_len();
+        if len == 0 {
+            1.0 // two empty sequences are identical
+        } else {
+            self.matches as f64 / len as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dir {
+    Diag,
+    Up,
+    Left,
+}
+
+/// Needleman–Wunsch with affine gaps (linear-ish gap init: every leading/
+/// trailing gap pays open + extends).
+pub fn needleman_wunsch(query: &[u8], target: &[u8], s: ScoringScheme) -> GlobalAlignment {
+    let n = query.len();
+    let m = target.len();
+    if n == 0 || m == 0 {
+        return GlobalAlignment {
+            score: if n == 0 && m == 0 {
+                0
+            } else {
+                s.gap_open + s.gap_extend * (n + m) as i32
+            },
+            matches: 0,
+            mismatches: 0,
+            gaps: n + m,
+        };
+    }
+
+    const NEG: i32 = i32::MIN / 4;
+    let width = m + 1;
+    let mut h = vec![NEG; (n + 1) * width];
+    let mut e = vec![NEG; (n + 1) * width];
+    let mut f = vec![NEG; (n + 1) * width];
+    let mut dir = vec![Dir::Diag; (n + 1) * width];
+
+    h[0] = 0;
+    for j in 1..=m {
+        e[j] = s.gap_open + s.gap_extend * j as i32;
+        h[j] = e[j];
+        dir[j] = Dir::Left;
+    }
+    for i in 1..=n {
+        f[i * width] = s.gap_open + s.gap_extend * i as i32;
+        h[i * width] = f[i * width];
+        dir[i * width] = Dir::Up;
+    }
+
+    for i in 1..=n {
+        let qb = query[i - 1].to_ascii_uppercase();
+        for j in 1..=m {
+            let tb = target[j - 1].to_ascii_uppercase();
+            let sub = if qb == tb { s.match_score } else { s.mismatch };
+            let idx = i * width + j;
+            e[idx] = (e[idx - 1] + s.gap_extend).max(h[idx - 1] + s.gap_open + s.gap_extend);
+            f[idx] =
+                (f[idx - width] + s.gap_extend).max(h[idx - width] + s.gap_open + s.gap_extend);
+            let diag = h[idx - width - 1] + sub;
+            let (mut best, mut d) = (diag, Dir::Diag);
+            if e[idx] > best {
+                best = e[idx];
+                d = Dir::Left;
+            }
+            if f[idx] > best {
+                best = f[idx];
+                d = Dir::Up;
+            }
+            h[idx] = best;
+            dir[idx] = d;
+        }
+    }
+
+    let (mut i, mut j) = (n, m);
+    let (mut matches, mut mismatches, mut gaps) = (0, 0, 0);
+    while i > 0 || j > 0 {
+        let idx = i * width + j;
+        match dir[idx] {
+            Dir::Diag if i > 0 && j > 0 => {
+                if query[i - 1].to_ascii_uppercase() == target[j - 1].to_ascii_uppercase() {
+                    matches += 1;
+                } else {
+                    mismatches += 1;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            Dir::Up | Dir::Diag if i > 0 => {
+                gaps += 1;
+                i -= 1;
+            }
+            _ => {
+                gaps += 1;
+                j -= 1;
+            }
+        }
+    }
+    GlobalAlignment {
+        score: h[n * width + m],
+        matches,
+        mismatches,
+        gaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nw(q: &[u8], t: &[u8]) -> GlobalAlignment {
+        needleman_wunsch(q, t, ScoringScheme::default())
+    }
+
+    #[test]
+    fn identical() {
+        let a = nw(b"ACGTACGT", b"ACGTACGT");
+        assert_eq!(a.matches, 8);
+        assert_eq!(a.identity(), 1.0);
+        assert_eq!(a.score, 40);
+    }
+
+    #[test]
+    fn one_substitution() {
+        let a = nw(b"ACGTACGT", b"ACGTCCGT");
+        assert_eq!(a.matches, 7);
+        assert_eq!(a.mismatches, 1);
+        assert_eq!(a.gaps, 0);
+    }
+
+    #[test]
+    fn deletion_costs_gap() {
+        let a = nw(b"ACGTACGT", b"ACGTCGT");
+        assert_eq!(a.gaps, 1);
+        assert_eq!(a.matches, 7);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = nw(b"", b"");
+        assert_eq!(a.score, 0);
+        assert_eq!(a.identity(), 1.0);
+        let a = nw(b"ACGT", b"");
+        assert_eq!(a.gaps, 4);
+        assert!(a.score < 0);
+    }
+
+    #[test]
+    fn global_penalizes_flanks_unlike_local() {
+        // Shared core, different flanks: global identity is low.
+        let a = nw(b"GGGGGGACGTACGT", b"TTTTTTACGTACGT");
+        assert!(a.identity() < 0.7);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = nw(b"ACGTGCATT", b"ACGGCATT");
+        let b = nw(b"ACGGCATT", b"ACGTGCATT");
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.matches, b.matches);
+    }
+}

@@ -1,0 +1,416 @@
+//! Transcript-set validation: the paper's Figs. 4–6 metrics.
+
+use std::collections::{HashMap, HashSet};
+
+use seqio::alphabet::revcomp;
+use seqio::fasta::Record;
+use seqio::kmer::KmerIter;
+
+use crate::sw::{smith_waterman, LocalAlignment, ScoringScheme};
+
+/// Word size of the candidate prefilter (pairs sharing no 16-mer are never
+/// aligned; with transcript-scale sequences this is lossless in practice
+/// and keeps all-to-all quadratic work near-linear).
+const FILTER_K: usize = 16;
+
+/// Fig. 4's categories for the best alignment of one transcript against a
+/// counterpart set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignmentClass {
+    /// (a) 100 % identity over the full length of both sequences.
+    IdenticalFullLength,
+    /// (b) <100 % identity but full-length alignment.
+    FullLength,
+    /// (c) alignment covering only part of the sequences.
+    Partial,
+    /// No alignment found at all (not plotted in Fig. 4; tracked anyway).
+    Unaligned,
+}
+
+/// Thresholds deciding "full length".
+#[derive(Debug, Clone, Copy)]
+pub struct FullLengthCriteria {
+    /// Minimum fraction of each sequence the alignment must span.
+    pub min_coverage: f64,
+    /// Minimum identity for reference-based full-length counting (Fig. 5).
+    pub min_identity: f64,
+}
+
+impl Default for FullLengthCriteria {
+    fn default() -> Self {
+        FullLengthCriteria {
+            min_coverage: 0.99,
+            min_identity: 0.95,
+        }
+    }
+}
+
+/// Aggregated Fig. 4 counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CategoryCounts {
+    /// (a) identical, full-length.
+    pub identical_full: usize,
+    /// (b) <100 % identity, full-length.
+    pub full: usize,
+    /// (c) partial-length.
+    pub partial: usize,
+    /// Found no counterpart sharing even a 16-mer.
+    pub unaligned: usize,
+    /// (d) identity of each partial-length alignment, for the distribution.
+    pub partial_identities: Vec<f64>,
+}
+
+impl CategoryCounts {
+    /// Total classified transcripts.
+    pub fn total(&self) -> usize {
+        self.identical_full + self.full + self.partial + self.unaligned
+    }
+}
+
+/// A k-mer → target-index prefilter over a transcript set.
+struct CandidateFilter {
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl CandidateFilter {
+    fn build(targets: &[Record]) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, t) in targets.iter().enumerate() {
+            let mut seen = HashSet::new();
+            if let Ok(iter) = KmerIter::new(&t.seq, FILTER_K) {
+                for (_, km) in iter {
+                    if seen.insert(km.canonical().packed()) {
+                        map.entry(km.canonical().packed()).or_default().push(i as u32);
+                    }
+                }
+            }
+        }
+        CandidateFilter { map }
+    }
+
+    fn candidates(&self, query: &[u8]) -> Vec<u32> {
+        let mut out = HashSet::new();
+        if let Ok(iter) = KmerIter::new(query, FILTER_K) {
+            for (_, km) in iter {
+                if let Some(v) = self.map.get(&km.canonical().packed()) {
+                    out.extend(v.iter().copied());
+                }
+            }
+        }
+        let mut v: Vec<u32> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Best strand-aware local alignment of `query` against `target`.
+fn best_alignment(query: &[u8], target: &[u8], s: ScoringScheme) -> LocalAlignment {
+    let fwd = smith_waterman(query, target, s);
+    let rc = revcomp(query);
+    let rev = smith_waterman(&rc, target, s);
+    if rev.score > fwd.score {
+        rev
+    } else {
+        fwd
+    }
+}
+
+/// Classify one query transcript against a counterpart set.
+fn classify(
+    query: &Record,
+    targets: &[Record],
+    filter: &CandidateFilter,
+    criteria: FullLengthCriteria,
+    s: ScoringScheme,
+) -> (AlignmentClass, f64) {
+    let cands = filter.candidates(&query.seq);
+    let mut best: Option<(LocalAlignment, usize, f64)> = None;
+    for &c in &cands {
+        let al = best_alignment(&query.seq, &targets[c as usize].seq, s);
+        // Ties (e.g. a transcript nested inside a longer isoform score
+        // identically against both) break toward the higher mutual
+        // coverage, so a sequence always classifies against its best
+        // *full-length* counterpart.
+        let cov = al.query_coverage(query.seq.len())
+            * al.target_coverage(targets[c as usize].seq.len());
+        let better = match &best {
+            None => true,
+            Some((b, _, bcov)) => al.score > b.score || (al.score == b.score && cov > *bcov),
+        };
+        if better {
+            best = Some((al, c as usize, cov));
+        }
+    }
+    match best {
+        None => (AlignmentClass::Unaligned, 0.0),
+        Some((al, tgt, _)) => {
+            let qcov = al.query_coverage(query.seq.len());
+            let tcov = al.target_coverage(targets[tgt].seq.len());
+            let full = qcov >= criteria.min_coverage && tcov >= criteria.min_coverage;
+            let ident = al.identity();
+            if full && al.mismatches == 0 && al.gaps == 0 {
+                (AlignmentClass::IdenticalFullLength, ident)
+            } else if full {
+                (AlignmentClass::FullLength, ident)
+            } else {
+                (AlignmentClass::Partial, ident)
+            }
+        }
+    }
+}
+
+/// Fig. 4: classify every transcript of `set_a` by its best match in
+/// `set_b`.
+pub fn all_to_all_categories(
+    set_a: &[Record],
+    set_b: &[Record],
+    criteria: FullLengthCriteria,
+) -> CategoryCounts {
+    let filter = CandidateFilter::build(set_b);
+    let s = ScoringScheme::default();
+    let mut counts = CategoryCounts::default();
+    for q in set_a {
+        let (class, ident) = classify(q, set_b, &filter, criteria, s);
+        match class {
+            AlignmentClass::IdenticalFullLength => counts.identical_full += 1,
+            AlignmentClass::FullLength => counts.full += 1,
+            AlignmentClass::Partial => {
+                counts.partial += 1;
+                counts.partial_identities.push(ident);
+            }
+            AlignmentClass::Unaligned => counts.unaligned += 1,
+        }
+    }
+    counts
+}
+
+/// A reference transcript with its gene grouping (the Trinity reference
+/// sets are annotated this way).
+#[derive(Debug, Clone)]
+pub struct RefTranscript {
+    /// Gene identifier (isoforms of a gene share it).
+    pub gene: String,
+    /// Isoform identifier (unique).
+    pub isoform: String,
+    /// Transcript sequence.
+    pub seq: Vec<u8>,
+}
+
+/// Fig. 5 counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullLengthCounts {
+    /// Genes with at least one isoform reconstructed full-length.
+    pub genes: usize,
+    /// Isoforms reconstructed full-length.
+    pub isoforms: usize,
+}
+
+/// Fig. 5: count reference genes/isoforms reconstructed in full length.
+///
+/// A reference isoform counts when some reconstructed transcript aligns to
+/// it covering ≥ `min_coverage` of the *reference* at ≥ `min_identity`.
+pub fn count_full_length(
+    transcripts: &[Record],
+    references: &[RefTranscript],
+    criteria: FullLengthCriteria,
+) -> FullLengthCounts {
+    let filter = CandidateFilter::build(transcripts);
+    let s = ScoringScheme::default();
+    let mut genes: HashSet<&str> = HashSet::new();
+    let mut isoforms = 0usize;
+    for r in references {
+        let pseudo = Record::new(r.isoform.clone(), r.seq.clone());
+        let cands = filter.candidates(&pseudo.seq);
+        let hit = cands.iter().any(|&c| {
+            let al = best_alignment(&r.seq, &transcripts[c as usize].seq, s);
+            al.target_coverage(r.seq.len()).min(al.query_coverage(r.seq.len())) >= 0.0 // keep clippy quiet about unused min
+                && al.query_coverage(r.seq.len()) >= criteria.min_coverage
+                && al.identity() >= criteria.min_identity
+        });
+        if hit {
+            isoforms += 1;
+            genes.insert(&r.gene);
+        }
+    }
+    FullLengthCounts {
+        genes: genes.len(),
+        isoforms,
+    }
+}
+
+/// Fig. 6 counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionCounts {
+    /// Reconstructed transcripts containing ≥2 full-length references from
+    /// different genes.
+    pub fused_transcripts: usize,
+    /// Distinct genes that participate in at least one fusion.
+    pub genes_involved: usize,
+}
+
+/// Fig. 6: count "fused" reconstructions — single reconstructed transcripts
+/// that contain multiple full-length reference transcripts end to end
+/// (false positives caused by overlapping UTRs etc.).
+pub fn count_fusions(
+    transcripts: &[Record],
+    references: &[RefTranscript],
+    criteria: FullLengthCriteria,
+) -> FusionCounts {
+    let filter = CandidateFilter::build(transcripts);
+    let s = ScoringScheme::default();
+    // For each reconstructed transcript, genes whose reference aligns
+    // full-length (reference coverage) inside it.
+    let mut genes_in: Vec<HashSet<&str>> = vec![HashSet::new(); transcripts.len()];
+    for r in references {
+        let cands = filter.candidates(&r.seq);
+        for &c in &cands {
+            let al = best_alignment(&r.seq, &transcripts[c as usize].seq, s);
+            if al.query_coverage(r.seq.len()) >= criteria.min_coverage
+                && al.identity() >= criteria.min_identity
+            {
+                genes_in[c as usize].insert(&r.gene);
+            }
+        }
+    }
+    let mut fused = 0usize;
+    let mut genes: HashSet<&str> = HashSet::new();
+    for set in &genes_in {
+        if set.len() >= 2 {
+            fused += 1;
+            genes.extend(set.iter().copied());
+        }
+    }
+    FusionCounts {
+        fused_transcripts: fused,
+        genes_involved: genes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, seq: &[u8]) -> Record {
+        Record::new(id, seq.to_vec())
+    }
+
+    // 60-base transcripts, distinct enough to not cross-match.
+    const T1: &[u8] = b"ACGTGCATTGCAGGCTATTCCGATGGCAAGTCAGGTTAACCGGATCTTACGGATCCAGTT";
+    const T2: &[u8] = b"TTGGCCAATCGCGCTAAAGGTCTCGAGATTTCCCAGGTGCACAATTGGCACCAGTGGAAT";
+
+    #[test]
+    fn identical_sets_all_category_a() {
+        let a = vec![rec("x", T1), rec("y", T2)];
+        let counts = all_to_all_categories(&a, &a, FullLengthCriteria::default());
+        assert_eq!(counts.identical_full, 2);
+        assert_eq!(counts.total(), 2);
+        assert!(counts.partial_identities.is_empty());
+    }
+
+    #[test]
+    fn revcomp_counterpart_still_identical() {
+        let a = vec![rec("x", T1)];
+        let b = vec![rec("x_rc", &revcomp(T1))];
+        let counts = all_to_all_categories(&a, &b, FullLengthCriteria::default());
+        assert_eq!(counts.identical_full, 1);
+    }
+
+    #[test]
+    fn near_identical_is_category_b() {
+        let mut t = T1.to_vec();
+        t[30] = if t[30] == b'A' { b'C' } else { b'A' };
+        let counts =
+            all_to_all_categories(&[rec("x", T1)], &[rec("y", &t)], FullLengthCriteria::default());
+        assert_eq!(counts.full, 1);
+        assert_eq!(counts.identical_full, 0);
+    }
+
+    #[test]
+    fn truncated_is_partial_with_identity_recorded() {
+        let counts = all_to_all_categories(
+            &[rec("x", T1)],
+            &[rec("y", &T1[..40])],
+            FullLengthCriteria::default(),
+        );
+        assert_eq!(counts.partial, 1);
+        assert_eq!(counts.partial_identities.len(), 1);
+        assert!(counts.partial_identities[0] > 0.99);
+    }
+
+    #[test]
+    fn unrelated_is_unaligned() {
+        let counts = all_to_all_categories(
+            &[rec("x", T1)],
+            &[rec("y", T2)],
+            FullLengthCriteria::default(),
+        );
+        assert_eq!(counts.unaligned, 1);
+    }
+
+    fn refs() -> Vec<RefTranscript> {
+        vec![
+            RefTranscript {
+                gene: "g1".into(),
+                isoform: "g1.i1".into(),
+                seq: T1.to_vec(),
+            },
+            RefTranscript {
+                gene: "g1".into(),
+                isoform: "g1.i2".into(),
+                seq: T1[..50].to_vec(),
+            },
+            RefTranscript {
+                gene: "g2".into(),
+                isoform: "g2.i1".into(),
+                seq: T2.to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn full_length_counting() {
+        // Reconstructed: full T1 (covers g1.i1 and contains g1.i2), nothing for g2.
+        let tr = vec![rec("t0", T1)];
+        let c = count_full_length(&tr, &refs(), FullLengthCriteria::default());
+        assert_eq!(c.isoforms, 2);
+        assert_eq!(c.genes, 1);
+    }
+
+    #[test]
+    fn full_length_requires_reference_coverage() {
+        // Reconstruction covers only half of T2: g2 not full-length.
+        let tr = vec![rec("t0", &T2[..30])];
+        let c = count_full_length(&tr, &refs(), FullLengthCriteria::default());
+        assert_eq!(c.isoforms, 0);
+        assert_eq!(c.genes, 0);
+    }
+
+    #[test]
+    fn fusion_detection() {
+        // One reconstructed transcript = T1 + T2 end-to-end: a classic fusion.
+        let mut fused = T1.to_vec();
+        fused.extend_from_slice(T2);
+        let tr = vec![rec("fused", &fused), rec("normal", T1)];
+        let c = count_fusions(&tr, &refs(), FullLengthCriteria::default());
+        assert_eq!(c.fused_transcripts, 1);
+        assert_eq!(c.genes_involved, 2);
+    }
+
+    #[test]
+    fn no_fusions_in_clean_set() {
+        let tr = vec![rec("a", T1), rec("b", T2)];
+        let c = count_fusions(&tr, &refs(), FullLengthCriteria::default());
+        assert_eq!(c.fused_transcripts, 0);
+        assert_eq!(c.genes_involved, 0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let counts = all_to_all_categories(&[], &[], FullLengthCriteria::default());
+        assert_eq!(counts.total(), 0);
+        let c = count_full_length(&[], &refs(), FullLengthCriteria::default());
+        assert_eq!(c.isoforms, 0);
+        let f = count_fusions(&[], &refs(), FullLengthCriteria::default());
+        assert_eq!(f.fused_transcripts, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure-harness smoke bench: runs each figure experiment once at small
+//! scale under Criterion so `cargo bench` exercises every regenerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_smoke");
+    g.sample_size(10);
+
+    g.bench_function("fig02_baseline", |b| {
+        b.iter(|| black_box(bench::fig02_baseline::run(1, 0.05)))
+    });
+    g.bench_function("fig03_chunked_rr", |b| {
+        b.iter(|| black_box(bench::fig03_chunked_rr::render(40, 4, 2, 5)))
+    });
+    g.bench_function("fig07_gff_scaling", |b| {
+        let shared = bench::fig07_gff_scaling::prepare(1, 0.05);
+        b.iter(|| {
+            black_box(bench::fig07_gff_scaling::run(
+                std::sync::Arc::clone(&shared),
+                &[4, 16],
+            ))
+        })
+    });
+    g.bench_function("fig09_rtt_scaling", |b| {
+        let shared = bench::fig09_rtt_scaling::prepare(1, 0.05);
+        b.iter(|| {
+            black_box(bench::fig09_rtt_scaling::run(
+                std::sync::Arc::clone(&shared),
+                &[2, 8],
+            ))
+        })
+    });
+    g.bench_function("fig10_bowtie_scaling", |b| {
+        let (contigs, reads) = bench::fig10_bowtie_scaling::prepare(1, 0.05);
+        b.iter(|| {
+            black_box(bench::fig10_bowtie_scaling::run(
+                std::sync::Arc::clone(&contigs),
+                std::sync::Arc::clone(&reads),
+                &[1, 8],
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

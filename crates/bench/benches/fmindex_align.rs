@@ -1,0 +1,51 @@
+//! Microbench: FM-index construction and -v-mode alignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bowtie::align::{align_read, AlignConfig};
+use bowtie::fmindex::FmIndex;
+use seqio::fasta::Record;
+use simulate::transcriptome::{Transcriptome, TranscriptomeConfig};
+
+fn bench(c: &mut Criterion) {
+    let t = Transcriptome::generate(TranscriptomeConfig {
+        genes: 20,
+        exon_len: (200, 800),
+        ..Default::default()
+    });
+    let contigs: Vec<Record> = t
+        .reference()
+        .into_iter()
+        .map(|r| Record::new(r.isoform, r.seq))
+        .collect();
+    // Reads: slices of the contigs.
+    let reads: Vec<Vec<u8>> = contigs
+        .iter()
+        .flat_map(|c| c.seq.windows(50).step_by(97).map(|w| w.to_vec()))
+        .take(400)
+        .collect();
+
+    let mut g = c.benchmark_group("fmindex");
+    g.sample_size(15);
+    g.bench_function("build", |b| b.iter(|| black_box(FmIndex::build(&contigs))));
+
+    let index = FmIndex::build(&contigs);
+    for v in [0u8, 1, 2] {
+        g.bench_with_input(BenchmarkId::new("align_400_reads_v", v), &v, |b, &v| {
+            let cfg = AlignConfig {
+                max_mismatches: v,
+                ..AlignConfig::default()
+            };
+            b.iter(|| {
+                for r in &reads {
+                    black_box(align_read(&index, r, cfg));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

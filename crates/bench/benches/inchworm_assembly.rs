@@ -1,0 +1,38 @@
+//! Microbench: Inchworm dictionary construction and greedy assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inchworm::assemble::{assemble, InchwormConfig};
+use inchworm::dictionary::Dictionary;
+use kcount::counter::{count_kmers, CounterConfig};
+use simulate::datasets::{Dataset, DatasetPreset};
+
+fn bench(c: &mut Criterion) {
+    let reads: Vec<Vec<u8>> = Dataset::generate(DatasetPreset::Tiny, 2)
+        .all_reads()
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    let counts = count_kmers(&reads, CounterConfig::new(16));
+
+    let mut g = c.benchmark_group("inchworm");
+    g.sample_size(20);
+    g.bench_function("dictionary_build", |b| {
+        b.iter(|| black_box(Dictionary::from_counts(counts.clone(), 1)))
+    });
+    let dict = Dictionary::from_counts(counts, 1);
+    let cfg = InchwormConfig {
+        min_seed_count: 1,
+        min_extend_count: 1,
+        min_contig_len: 32,
+        jitter_seed: None,
+    };
+    g.bench_function("greedy_assembly", |b| {
+        b.iter(|| black_box(assemble(&dict, cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

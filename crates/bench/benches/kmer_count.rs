@@ -1,0 +1,42 @@
+//! Microbench: Jellyfish-substrate k-mer counting (canonical vs plain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kcount::counter::{count_kmers, CounterConfig};
+use simulate::datasets::{Dataset, DatasetPreset};
+
+fn reads() -> Vec<Vec<u8>> {
+    Dataset::generate(DatasetPreset::Tiny, 1)
+        .all_reads()
+        .into_iter()
+        .map(|r| r.seq)
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let reads = reads();
+    let mut g = c.benchmark_group("kmer_count");
+    g.sample_size(20);
+    for &k in &[16usize, 24] {
+        for (label, canonical) in [("canonical", true), ("plain", false)] {
+            g.bench_with_input(BenchmarkId::new(label, k), &k, |b, &k| {
+                b.iter(|| {
+                    black_box(count_kmers(
+                        &reads,
+                        CounterConfig {
+                            k,
+                            canonical,
+                            threads: 1,
+                            shards: 16,
+                        },
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablation — dynamic rank-level partitioning (the paper's future work).
+//!
+//! §V-A: "Currently, we have a static partitioning strategy amongst the
+//! nodes; in the future, we might experiment with a dynamic partitioning
+//! strategy to reduce this load imbalance." This experiment implements
+//! that follow-up: the same GraphFromFasta run under (a) the paper's
+//! static chunked round-robin and (b) a master-dealt dynamic work queue,
+//! comparing per-rank loop-time spread.
+
+use std::sync::Arc;
+
+use chrysalis::graph_from_fasta::{gff_hybrid, gff_hybrid_dynamic, GffShared};
+use chrysalis::timings::{GffTimings, PhaseSpread};
+use mpisim::{run_cluster, NetModel};
+
+/// One strategy's outcome at one rank count.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyRow {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Loop 1 spread (static chunked round-robin).
+    pub static_loop1: PhaseSpread,
+    /// Loop 1 spread (dynamic dealing).
+    pub dynamic_loop1: PhaseSpread,
+    /// Stage totals.
+    pub static_total: f64,
+    /// Dynamic stage total.
+    pub dynamic_total: f64,
+}
+
+/// Run both strategies over `rank_counts` on a prepared workload.
+pub fn run(shared: Arc<GffShared>, rank_counts: &[usize]) -> Vec<StrategyRow> {
+    let mut rows = Vec::with_capacity(rank_counts.len());
+    for &ranks in rank_counts {
+        let sh = Arc::clone(&shared);
+        let stat = run_cluster(ranks, NetModel::idataplex(), move |comm| {
+            gff_hybrid(comm, &sh).timings
+        });
+        let sh = Arc::clone(&shared);
+        let dynm = run_cluster(ranks, NetModel::idataplex(), move |comm| {
+            gff_hybrid_dynamic(comm, &sh).timings
+        });
+        let st: Vec<GffTimings> = stat.iter().map(|o| o.value).collect();
+        let dt: Vec<GffTimings> = dynm.iter().map(|o| o.value).collect();
+        rows.push(StrategyRow {
+            ranks,
+            static_loop1: PhaseSpread::over(&st, |t| t.loop1),
+            dynamic_loop1: PhaseSpread::over(&dt, |t| t.loop1),
+            static_total: PhaseSpread::over(&st, |t| t.total).max,
+            dynamic_total: PhaseSpread::over(&dt, |t| t.total).max,
+        });
+    }
+    rows
+}
+
+/// Render the comparison table.
+pub fn render(rows: &[StrategyRow]) -> String {
+    let mut out = String::from(
+        "Ablation — static chunked round-robin vs dynamic dealing (GFF loop 1)\n\n\
+         nodes  static max/min  dynamic max/min  static total  dynamic total\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>10.2}x {:>14.2}x {:>13.4} {:>14.4}\n",
+            r.ranks,
+            r.static_loop1.imbalance(),
+            r.dynamic_loop1.imbalance(),
+            r.static_total,
+            r.dynamic_total
+        ));
+    }
+    out.push_str(
+        "\n(the paper's future-work hypothesis: dynamic partitioning reduces \
+         the rank-time spread that static chunking shows at scale)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig07_gff_scaling::prepare;
+
+    #[test]
+    fn dynamic_never_slower_on_loop_makespan() {
+        let shared = prepare(2, 0.1);
+        let rows = run(shared, &[8]);
+        let r = &rows[0];
+        // Static and dynamic measure the same items in *separate* passes,
+        // so this run-level check is a sanity band only; the deterministic
+        // superiority proof is `graph_from_fasta::dynamic_tests::
+        // dynamic_deal_balances_skew`, which replays both policies over
+        // identical costs.
+        assert!(
+            r.dynamic_loop1.max <= r.static_loop1.max * 2.0 + 1e-3,
+            "dynamic {} wildly above static {}",
+            r.dynamic_loop1.max,
+            r.static_loop1.max
+        );
+        assert!(render(&rows).contains("Ablation"));
+    }
+}

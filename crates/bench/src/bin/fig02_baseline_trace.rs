@@ -1,0 +1,9 @@
+//! Regenerates Fig. 2: collectl trace of the original single-node Trinity.
+//!
+//! Usage: `cargo run --release -p bench --bin fig02_baseline_trace [--scale X] [--seed N]`
+
+fn main() {
+    let cli = bench::Cli::parse(std::env::args().skip(1));
+    let trace = bench::fig02_baseline::run(cli.seed, cli.scale);
+    print!("{}", bench::fig02_baseline::render(&trace));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3: the chunked round-robin distribution, plus the
+//! pre-allocation-vs-round-robin ablation.
+
+fn main() {
+    print!("{}", bench::fig03_chunked_rr::render(40, 4, 2, 5));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11: collectl trace of the parallel Trinity run
+//! (16 nodes x 16 threads), alongside the Fig. 2 baseline for comparison.
+
+fn main() {
+    let cli = bench::Cli::parse(std::env::args().skip(1));
+    let baseline = bench::fig02_baseline::run(cli.seed, cli.scale);
+    let parallel = bench::fig11_parallel_trace::run(cli.seed, cli.scale, 16);
+    print!("{}", bench::fig11_parallel_trace::render(&parallel, &baseline));
+}

@@ -1,0 +1,71 @@
+//! Fig. 2 — collectl trace of the *original* (single-node, 16-thread)
+//! Trinity run on the sugarbeet-like workload: RAM vs runtime per stage.
+//!
+//! Paper: total ≈ 60 h, Chrysalis > 50 h of it, with the early stages
+//! (Jellyfish/Inchworm) dominating memory. We reproduce the *shape*:
+//! Chrysalis (Bowtie + GraphFromFasta + ReadsToTranscripts) dominates
+//! runtime; Jellyfish/Inchworm dominate modelled RAM.
+
+use simulate::datasets::DatasetPreset;
+use trinity::collectl::CollectlTrace;
+use trinity::pipeline::{run_pipeline, PipelineMode};
+use trinity::report::{render_bars, render_trace};
+
+use crate::workloads::{bench_pipeline_config, scaled};
+
+/// Run the baseline pipeline and return its trace.
+pub fn run(seed: u64, scale: f64) -> CollectlTrace {
+    let w = scaled(DatasetPreset::SugarbeetLike, seed, scale);
+    let mut cfg = bench_pipeline_config();
+    cfg.mode = PipelineMode::Serial;
+    run_pipeline(&w.reads, &cfg).trace
+}
+
+/// Render the figure as text (stage table + duration bars).
+pub fn render(trace: &CollectlTrace) -> String {
+    let mut out = String::from("Fig. 2 — original Trinity, 1 node x 16 threads (sugarbeet-like)\n\n");
+    out.push_str(&render_trace(trace));
+    out.push('\n');
+    out.push_str(&render_bars(trace, 50));
+    let chrysalis: f64 = trace
+        .stages
+        .iter()
+        .filter(|s| {
+            ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
+                .contains(&s.name.as_str())
+        })
+        .map(|s| s.duration())
+        .sum();
+    out.push_str(&format!(
+        "\nChrysalis share of runtime: {:.1}% (paper: >83%, '50 of ~60 hours')\n",
+        100.0 * chrysalis / trace.total_time().max(f64::MIN_POSITIVE)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrysalis_dominates_at_small_scale() {
+        let trace = run(1, 0.1);
+        assert_eq!(trace.stages.len(), 7);
+        let text = render(&trace);
+        assert!(text.contains("Chrysalis share"));
+        let chrysalis: f64 = trace
+            .stages
+            .iter()
+            .filter(|s| {
+                ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
+                    .contains(&s.name.as_str())
+            })
+            .map(|s| s.duration())
+            .sum();
+        assert!(
+            chrysalis > 0.45 * trace.total_time(),
+            "Chrysalis must dominate: {chrysalis} of {}",
+            trace.total_time()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 5 — full-length reconstructed genes/isoforms against the
+//! reference sets ("Schizophrenia" [sic] and Drosophila), for both
+//! versions of Trinity.
+//!
+//! The claim: the hybrid version reconstructs as many reference
+//! genes/isoforms in full length as the original.
+
+use align::validate::{count_full_length, FullLengthCounts, FullLengthCriteria, RefTranscript};
+use mpisim::NetModel;
+use simulate::datasets::DatasetPreset;
+use simulate::transcriptome::RefSeq;
+use trinity::pipeline::{run_pipeline, PipelineMode};
+
+use crate::workloads::{bench_pipeline_config, scaled};
+
+/// Counts for one dataset, both pipeline versions.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig05Row {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Reference genes / isoforms available.
+    pub ref_genes: usize,
+    /// Reference isoform count.
+    pub ref_isoforms: usize,
+    /// Original (serial) pipeline counts.
+    pub original: FullLengthCounts,
+    /// Hybrid pipeline counts.
+    pub parallel: FullLengthCounts,
+}
+
+/// Convert simulator ground truth into the validator's reference type.
+pub fn to_ref_transcripts(reference: &[RefSeq]) -> Vec<RefTranscript> {
+    reference
+        .iter()
+        .map(|r| RefTranscript {
+            gene: r.gene.clone(),
+            isoform: r.isoform.clone(),
+            seq: r.seq.clone(),
+        })
+        .collect()
+}
+
+/// Run one dataset through both versions and count full-length matches.
+pub fn run_dataset(preset: DatasetPreset, label: &'static str, seed: u64, scale: f64) -> Fig05Row {
+    let w = scaled(preset, seed, scale);
+    let refs = to_ref_transcripts(&w.reference);
+    let genes: std::collections::HashSet<&str> =
+        refs.iter().map(|r| r.gene.as_str()).collect();
+    let criteria = FullLengthCriteria::default();
+
+    let mut serial_cfg = bench_pipeline_config();
+    serial_cfg.mode = PipelineMode::Serial;
+    let original_out = run_pipeline(&w.reads, &serial_cfg);
+
+    let mut hybrid_cfg = bench_pipeline_config();
+    hybrid_cfg.mode = PipelineMode::Hybrid {
+        ranks: 4,
+        net: NetModel::idataplex(),
+    };
+    let parallel_out = run_pipeline(&w.reads, &hybrid_cfg);
+
+    Fig05Row {
+        dataset: label,
+        ref_genes: genes.len(),
+        ref_isoforms: refs.len(),
+        original: count_full_length(&original_out.transcripts, &refs, criteria),
+        parallel: count_full_length(&parallel_out.transcripts, &refs, criteria),
+    }
+}
+
+/// Run both datasets.
+pub fn run(seed: u64, scale: f64) -> Vec<Fig05Row> {
+    vec![
+        run_dataset(DatasetPreset::SchizoLike, "schizo-like", seed, scale),
+        run_dataset(DatasetPreset::DrosophilaLike, "drosophila-like", seed + 1, scale),
+    ]
+}
+
+/// Render the counts table.
+pub fn render(rows: &[Fig05Row]) -> String {
+    let mut out = String::from(
+        "Fig. 5 — full-length reconstruction vs reference\n\n\
+         dataset           refs (genes/iso)   original (genes/iso)   parallel (genes/iso)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8}/{:<8} {:>10}/{:<10} {:>10}/{:<10}\n",
+            r.dataset,
+            r.ref_genes,
+            r.ref_isoforms,
+            r.original.genes,
+            r.original.isoforms,
+            r.parallel.genes,
+            r.parallel.isoforms
+        ));
+    }
+    out.push_str("\n(paper: no significant difference between versions)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_versions_reconstruct_comparably() {
+        let row = run_dataset(DatasetPreset::SchizoLike, "schizo-like", 3, 0.2);
+        assert!(row.ref_isoforms > 0);
+        assert!(row.original.isoforms > 0, "original reconstructs something");
+        assert!(row.parallel.isoforms > 0, "parallel reconstructs something");
+        // Versions within 25% of each other (paper: statistically equal).
+        let (a, b) = (row.original.isoforms as f64, row.parallel.isoforms as f64);
+        assert!(
+            (a - b).abs() / a.max(b) < 0.25,
+            "original {a} vs parallel {b}"
+        );
+        let text = render(&[row]);
+        assert!(text.contains("schizo-like"));
+    }
+}

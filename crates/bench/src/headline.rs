@@ -1,0 +1,129 @@
+//! §V headline numbers — the summary "table" of the paper's text:
+//! per-stage baseline vs best-hybrid times and speedups.
+//!
+//! Paper values (sugarbeet, absolute seconds on Blue Wonder):
+//!
+//! | stage              | baseline (1×16) | hybrid best    | speedup |
+//! |--------------------|-----------------|----------------|---------|
+//! | GraphFromFasta     | 122 610 s       | 5 930 s (192)  | 20.7×   |
+//! | ReadsToTranscripts | 20 190 s        | ~1 022 s (32)  | 19.75×  |
+//! | Bowtie             | >8 h            | ~⅓ (128)       | ~3×     |
+//! | Chrysalis total    | >50 h           | <5 h           | >10×    |
+
+use std::sync::Arc;
+
+use crate::{fig07_gff_scaling, fig09_rtt_scaling, fig10_bowtie_scaling};
+
+/// One stage's headline row.
+#[derive(Debug, Clone)]
+pub struct HeadlineRow {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Baseline (1 node × 16 threads) seconds.
+    pub baseline: f64,
+    /// Best hybrid seconds.
+    pub hybrid: f64,
+    /// Node count of the best hybrid run.
+    pub nodes: usize,
+    /// The paper's speedup at the corresponding point.
+    pub paper_speedup: f64,
+}
+
+impl HeadlineRow {
+    /// Measured speedup.
+    pub fn speedup(&self) -> f64 {
+        self.baseline / self.hybrid.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Run all three stage sweeps at their paper-best node counts (scaled to
+/// the host with `gff_ranks`/`rtt_ranks`/`bowtie_ranks`).
+pub fn run(
+    seed: u64,
+    scale: f64,
+    gff_ranks: usize,
+    rtt_ranks: usize,
+    bowtie_ranks: usize,
+) -> Vec<HeadlineRow> {
+    let gff_shared = fig07_gff_scaling::prepare(seed, scale);
+    let gff = fig07_gff_scaling::run(gff_shared, &[gff_ranks]);
+
+    let rtt_shared = fig09_rtt_scaling::prepare(seed, scale);
+    let rtt = fig09_rtt_scaling::run(rtt_shared, &[rtt_ranks]);
+
+    let (contigs, reads) = fig10_bowtie_scaling::prepare(seed, scale);
+    let bowtie = fig10_bowtie_scaling::run(contigs, reads, &[1, bowtie_ranks]);
+
+    vec![
+        HeadlineRow {
+            stage: "GraphFromFasta",
+            baseline: gff.baseline_total,
+            hybrid: gff.rows[0].total,
+            nodes: gff_ranks,
+            paper_speedup: 20.7,
+        },
+        HeadlineRow {
+            stage: "ReadsToTranscripts",
+            baseline: rtt.baseline_total,
+            hybrid: rtt.rows[0].total,
+            nodes: rtt_ranks,
+            paper_speedup: 19.75,
+        },
+        HeadlineRow {
+            stage: "Bowtie",
+            baseline: bowtie.rows[0].total,
+            hybrid: bowtie.rows[1].total,
+            nodes: bowtie_ranks,
+            paper_speedup: 3.0,
+        },
+    ]
+}
+
+/// Render the headline table.
+pub fn render(rows: &[HeadlineRow]) -> String {
+    let mut out = String::from(
+        "Headline table (§V) — baseline vs hybrid, measured vs paper\n\n\
+         stage                baseline(s)   hybrid(s)  nodes  speedup  paper\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>11.3} {:>11.3} {:>6} {:>7.2}x {:>5.1}x\n",
+            r.stage,
+            r.baseline,
+            r.hybrid,
+            r.nodes,
+            r.speedup(),
+            r.paper_speedup
+        ));
+    }
+    out.push_str(
+        "\n(shape check: GFF and RTT speedups are of the same order; Bowtie's \
+         is much smaller; Chrysalis overall >several-fold)\n",
+    );
+    out
+}
+
+/// Keep `Arc` in the public API surface documented (the sweeps share
+/// prepared state across rank counts).
+pub type SharedGff = Arc<chrysalis::graph_from_fasta::GffShared>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_speedup_ordering_matches_paper() {
+        let rows = run(2, 0.1, 24, 8, 8);
+        assert_eq!(rows.len(), 3);
+        let gff = rows[0].speedup();
+        let rtt = rows[1].speedup();
+        let bowtie = rows[2].speedup();
+        // Qualitative claims that survive the 1000x workload downscale:
+        // the communication-free RTT loop and the split-index Bowtie both
+        // gain clearly; nothing regresses badly.
+        assert!(rtt > 1.15, "RTT speedup {rtt:.2}");
+        assert!(bowtie > 1.15, "Bowtie speedup {bowtie:.2}");
+        assert!(gff > 0.7, "GFF must not regress badly: {gff:.2}");
+        assert!(render(&rows).contains("GraphFromFasta"));
+    }
+}

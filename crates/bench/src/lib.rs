@@ -1,0 +1,92 @@
+//! Experiment harness: one module per figure of the paper's evaluation,
+//! plus the §V headline-number table.
+//!
+//! Each module exposes a `run(...)` returning plain data and a `render(...)`
+//! producing the text series the corresponding `src/bin/figNN_*.rs` binary
+//! prints. EXPERIMENTS.md records paper-vs-measured for every figure.
+//!
+//! Scale: all experiments run on the synthetic presets of the `simulate`
+//! crate (see DESIGN.md's substitution table). `Scale` shrinks or grows a
+//! preset so the figure binaries can be run quickly (`--scale 0.2`) or at
+//! full preset size (default).
+
+pub mod ablation_dynamic;
+pub mod fig02_baseline;
+pub mod fig03_chunked_rr;
+pub mod fig04_validation;
+pub mod fig05_full_length;
+pub mod fig06_fused;
+pub mod fig07_gff_scaling;
+pub mod fig08_gff_breakdown;
+pub mod fig09_rtt_scaling;
+pub mod fig10_bowtie_scaling;
+pub mod fig11_parallel_trace;
+pub mod headline;
+pub mod workloads;
+
+/// Parse a `--scale X` / `--seed N` style argument list (every figure
+/// binary shares this tiny CLI).
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Workload scale multiplier (1.0 = the preset as configured).
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`-style strings; unknown flags are ignored.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        cli.scale = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        cli.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        cli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_flags() {
+        let cli = Cli::parse(["--scale".into(), "0.5".into(), "--seed".into(), "7".into()]);
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.seed, 7);
+    }
+
+    #[test]
+    fn cli_ignores_unknown() {
+        let cli = Cli::parse(["--whatever".into(), "x".into()]);
+        assert_eq!(cli.scale, 1.0);
+    }
+
+    #[test]
+    fn cli_tolerates_missing_value() {
+        let cli = Cli::parse(["--scale".into()]);
+        assert_eq!(cli.scale, 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! `-v`-mode read alignment: up to `v` mismatches, both strands.
+//!
+//! Bowtie 1's `-v` mode reports end-to-end (ungapped) alignments with at
+//! most `v` substitutions. We reproduce it with depth-first backtracking
+//! over the FM-index: the read is consumed right-to-left through backward
+//! search; at each position the true base extends free, the other three
+//! bases spend one unit of mismatch budget.
+
+use seqio::alphabet::revcomp;
+
+use crate::fmindex::FmIndex;
+
+/// Which strand of the read matched the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strand {
+    /// Read aligned as given.
+    Forward,
+    /// The read's reverse complement aligned.
+    Reverse,
+}
+
+/// One reported alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Contig index in the index's input order.
+    pub contig: usize,
+    /// 0-based offset of the alignment start within the contig.
+    pub offset: usize,
+    /// Strand of the read.
+    pub strand: Strand,
+    /// Number of substitutions.
+    pub mismatches: u8,
+    /// Read length (alignments are end-to-end).
+    pub read_len: usize,
+}
+
+/// Alignment parameters (Bowtie `-v` / `-k` style).
+#[derive(Debug, Clone, Copy)]
+pub struct AlignConfig {
+    /// Maximum substitutions (`-v`). Bowtie caps this at 3; so do we.
+    pub max_mismatches: u8,
+    /// Report at most this many alignments per read (`-k`).
+    pub max_hits: usize,
+    /// Only report the best stratum (fewest mismatches), like
+    /// `--best --strata`.
+    pub best_strata: bool,
+    /// Also try the reverse complement of the read.
+    pub both_strands: bool,
+}
+
+impl Default for AlignConfig {
+    fn default() -> Self {
+        AlignConfig {
+            max_mismatches: 2,
+            max_hits: 16,
+            best_strata: true,
+            both_strands: true,
+        }
+    }
+}
+
+const DNA: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// DFS over the index, collecting SA ranges of full-length matches with
+/// their mismatch counts.
+fn backtrack(
+    idx: &FmIndex,
+    pattern: &[u8],
+    i: usize,
+    lo: usize,
+    hi: usize,
+    mm: u8,
+    budget: u8,
+    out: &mut Vec<(u8, usize, usize)>,
+) {
+    if i == 0 {
+        out.push((mm, lo, hi));
+        return;
+    }
+    let want = pattern[i - 1].to_ascii_uppercase();
+    // Exact extension first so low-mismatch hits surface first.
+    if let Some((l, h)) = idx.bwt().backward_step(lo, hi, want) {
+        backtrack(idx, pattern, i - 1, l, h, mm, budget, out);
+    }
+    if mm < budget {
+        for &b in DNA.iter().filter(|&&b| b != want) {
+            if let Some((l, h)) = idx.bwt().backward_step(lo, hi, b) {
+                backtrack(idx, pattern, i - 1, l, h, mm + 1, budget, out);
+            }
+        }
+    }
+}
+
+fn align_one_strand(
+    idx: &FmIndex,
+    seq: &[u8],
+    strand: Strand,
+    cfg: AlignConfig,
+    out: &mut Vec<Alignment>,
+) {
+    if seq.is_empty() {
+        return;
+    }
+    let budget = cfg.max_mismatches.min(3);
+    let mut ranges = Vec::new();
+    backtrack(
+        idx,
+        seq,
+        seq.len(),
+        0,
+        idx.bwt().len(),
+        0,
+        budget,
+        &mut ranges,
+    );
+    for (mm, lo, hi) in ranges {
+        for r in lo..hi {
+            if let Some(hit) = idx.resolve(idx.bwt().sa_at(r), seq.len()) {
+                out.push(Alignment {
+                    contig: hit.contig,
+                    offset: hit.offset,
+                    strand,
+                    mismatches: mm,
+                    read_len: seq.len(),
+                });
+            }
+        }
+    }
+}
+
+/// Align one read against the index per `cfg`. Results are sorted by
+/// (mismatches, contig, offset, strand) and truncated to `max_hits`; with
+/// `best_strata` only the fewest-mismatch stratum survives.
+pub fn align_read(idx: &FmIndex, read: &[u8], cfg: AlignConfig) -> Vec<Alignment> {
+    let mut out = Vec::new();
+    align_one_strand(idx, read, Strand::Forward, cfg, &mut out);
+    if cfg.both_strands {
+        let rc = revcomp(read);
+        align_one_strand(idx, &rc, Strand::Reverse, cfg, &mut out);
+    }
+    out.sort_by_key(|a| {
+        (
+            a.mismatches,
+            a.contig,
+            a.offset,
+            matches!(a.strand, Strand::Reverse),
+        )
+    });
+    if cfg.best_strata {
+        if let Some(best) = out.first().map(|a| a.mismatches) {
+            out.retain(|a| a.mismatches == best);
+        }
+    }
+    out.truncate(cfg.max_hits.max(1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio::fasta::Record;
+
+    fn index() -> FmIndex {
+        FmIndex::build(&[
+            Record::new("c0", b"ACGTACGTGGCCATTA".to_vec()),
+            Record::new("c1", b"TTGACCAGTTGACCAG".to_vec()),
+        ])
+    }
+
+    fn cfg(v: u8) -> AlignConfig {
+        AlignConfig {
+            max_mismatches: v,
+            max_hits: 32,
+            best_strata: true,
+            both_strands: true,
+        }
+    }
+
+    #[test]
+    fn exact_forward_hit() {
+        let idx = index();
+        // Note: a palindromic read would hit both strands; this one is not.
+        let hits = align_read(&idx, b"ACGTACGTGG", cfg(0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].contig, 0);
+        assert_eq!(hits[0].offset, 0);
+        assert_eq!(hits[0].strand, Strand::Forward);
+        assert_eq!(hits[0].mismatches, 0);
+    }
+
+    #[test]
+    fn reverse_strand_hit() {
+        let idx = index();
+        // revcomp(TAATGGCC) = GGCCATTA, at c0 offset 8.
+        let hits = align_read(&idx, b"TAATGGCC", cfg(0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].strand, Strand::Reverse);
+        assert_eq!(hits[0].contig, 0);
+        assert_eq!(hits[0].offset, 8);
+    }
+
+    #[test]
+    fn one_mismatch_found_with_budget() {
+        let idx = index();
+        //            v mismatch at position 3 (T->A)
+        let read = b"ACGAACGTGG";
+        assert!(align_read(&idx, read, cfg(0)).is_empty());
+        let hits = align_read(&idx, read, cfg(1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].mismatches, 1);
+        assert_eq!(hits[0].offset, 0);
+    }
+
+    #[test]
+    fn best_strata_hides_worse_hits() {
+        let idx = FmIndex::build(&[Record::new("r", b"AAAATAAAACAAAA".to_vec())]);
+        // Read AAAA: exact hits exist, so 1-mismatch hits are suppressed.
+        let hits = align_read(&idx, b"AAAA", cfg(1));
+        assert!(hits.iter().all(|h| h.mismatches == 0));
+        let all = align_read(
+            &idx,
+            b"AAAA",
+            AlignConfig {
+                best_strata: false,
+                ..cfg(1)
+            },
+        );
+        assert!(all.iter().any(|h| h.mismatches == 1));
+    }
+
+    #[test]
+    fn max_hits_truncates() {
+        let idx = FmIndex::build(&[Record::new("r", b"ACAC".repeat(20))]);
+        let hits = align_read(
+            &idx,
+            b"ACAC",
+            AlignConfig {
+                max_hits: 5,
+                ..cfg(0)
+            },
+        );
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn unalignable_read() {
+        let idx = index();
+        assert!(align_read(&idx, b"CCCCCCCC", cfg(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_read_yields_nothing() {
+        let idx = index();
+        assert!(align_read(&idx, b"", cfg(2)).is_empty());
+    }
+
+    #[test]
+    fn two_mismatches() {
+        let idx = index();
+        let read = b"AGGTACGTGGCCATAA"; // c0 with subs at pos 1 and 14
+        assert!(align_read(&idx, read, cfg(1)).is_empty());
+        let hits = align_read(&idx, read, cfg(2));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].mismatches, 2);
+        assert_eq!(hits[0].contig, 0);
+    }
+
+    #[test]
+    fn forward_only_mode() {
+        let idx = index();
+        let hits = align_read(
+            &idx,
+            b"TAATGGCC",
+            AlignConfig {
+                both_strands: false,
+                ..cfg(0)
+            },
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn multi_contig_hits_sorted() {
+        let idx = FmIndex::build(&[
+            Record::new("a", b"GATTACAGG".to_vec()),
+            Record::new("b", b"CCGATTACA".to_vec()),
+        ]);
+        let hits = align_read(&idx, b"GATTACA", cfg(0));
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].contig < hits[1].contig);
+    }
+}

@@ -1,0 +1,259 @@
+//! Burrows–Wheeler transform and rank (Occ) structures.
+//!
+//! The BWT of the reference (terminated by a unique smallest byte 0) plus a
+//! checkpointed Occ table supports the O(1)-per-step LF-mapping that
+//! backward search is built on.
+
+use crate::suffix::suffix_array;
+
+/// Checkpoint spacing for the Occ table (bytes of BWT per checkpoint).
+const OCC_SAMPLE: usize = 64;
+
+/// The BWT with rank support over an arbitrary byte alphabet (at most 8
+/// distinct symbols in practice: terminator, separator, A, C, G, T).
+#[derive(Debug, Clone)]
+pub struct Bwt {
+    /// The transformed text.
+    bwt: Vec<u8>,
+    /// Dense code per byte value (255 = absent).
+    code_of: [u8; 256],
+    /// Number of distinct symbols.
+    sigma: usize,
+    /// `c_table[code]` = number of symbols strictly smaller (the "C" array).
+    c_table: Vec<usize>,
+    /// Occ checkpoints: at row r, counts of each code in `bwt[..r*OCC_SAMPLE]`.
+    checkpoints: Vec<u32>,
+    /// Suffix array (kept whole; locating is a direct lookup).
+    sa: Vec<u32>,
+}
+
+impl Bwt {
+    /// Build the BWT of `text`. `text` must end with a byte 0 terminator
+    /// that appears nowhere else.
+    pub fn build(text: &[u8]) -> Self {
+        assert!(!text.is_empty(), "text must be non-empty");
+        assert_eq!(*text.last().unwrap(), 0, "text must end with the 0 terminator");
+        assert_eq!(
+            text.iter().filter(|&&b| b == 0).count(),
+            1,
+            "terminator must be unique"
+        );
+        let sa = suffix_array(text);
+        let n = text.len();
+        let mut bwt = Vec::with_capacity(n);
+        for &p in &sa {
+            let p = p as usize;
+            bwt.push(if p == 0 { text[n - 1] } else { text[p - 1] });
+        }
+
+        // Dense alphabet codes in byte order.
+        let mut present = [false; 256];
+        for &b in text {
+            present[b as usize] = true;
+        }
+        let mut code_of = [255u8; 256];
+        let mut sigma = 0usize;
+        for b in 0..256 {
+            if present[b] {
+                code_of[b] = sigma as u8;
+                sigma += 1;
+            }
+        }
+
+        // C array: prefix sums of symbol frequencies in sorted order.
+        let mut freq = vec![0usize; sigma];
+        for &b in text {
+            freq[code_of[b as usize] as usize] += 1;
+        }
+        let mut c_table = vec![0usize; sigma + 1];
+        for s in 0..sigma {
+            c_table[s + 1] = c_table[s] + freq[s];
+        }
+
+        // Occ checkpoints.
+        let rows = n / OCC_SAMPLE + 1;
+        let mut checkpoints = vec![0u32; rows * sigma];
+        let mut running = vec![0u32; sigma];
+        for (i, &b) in bwt.iter().enumerate() {
+            if i % OCC_SAMPLE == 0 {
+                let row = i / OCC_SAMPLE;
+                checkpoints[row * sigma..(row + 1) * sigma].copy_from_slice(&running);
+            }
+            running[code_of[b as usize] as usize] += 1;
+        }
+        if n % OCC_SAMPLE == 0 {
+            let row = n / OCC_SAMPLE;
+            if row < rows {
+                checkpoints[row * sigma..(row + 1) * sigma].copy_from_slice(&running);
+            }
+        }
+
+        Bwt {
+            bwt,
+            code_of,
+            sigma,
+            c_table,
+            checkpoints,
+            sa,
+        }
+    }
+
+    /// Length of the text (including terminator).
+    pub fn len(&self) -> usize {
+        self.bwt.len()
+    }
+
+    /// True if empty (never: build rejects empty text).
+    pub fn is_empty(&self) -> bool {
+        self.bwt.is_empty()
+    }
+
+    /// Dense code of a byte, if the byte occurs in the text.
+    pub fn code(&self, b: u8) -> Option<u8> {
+        let c = self.code_of[b as usize];
+        (c != 255).then_some(c)
+    }
+
+    /// `C[code]`: count of symbols smaller than `code` in the text.
+    pub fn c_of(&self, code: u8) -> usize {
+        self.c_table[code as usize]
+    }
+
+    /// `Occ(code, i)`: occurrences of `code` in `bwt[..i]`.
+    pub fn occ(&self, code: u8, i: usize) -> usize {
+        debug_assert!(i <= self.bwt.len());
+        let row = i / OCC_SAMPLE;
+        let mut count = self.checkpoints[row * self.sigma + code as usize] as usize;
+        for &b in &self.bwt[row * OCC_SAMPLE..i] {
+            if self.code_of[b as usize] == code {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Text position of the suffix at BWT row `r`.
+    pub fn sa_at(&self, r: usize) -> usize {
+        self.sa[r] as usize
+    }
+
+    /// One backward-search step: refine `[lo, hi)` by prepending `byte`.
+    /// Returns `None` when the byte is absent or the range empties.
+    pub fn backward_step(&self, lo: usize, hi: usize, byte: u8) -> Option<(usize, usize)> {
+        let code = self.code(byte)?;
+        let c = self.c_of(code);
+        let new_lo = c + self.occ(code, lo);
+        let new_hi = c + self.occ(code, hi);
+        (new_lo < new_hi).then_some((new_lo, new_hi))
+    }
+
+    /// Full backward search for `pattern`; returns the SA range of exact
+    /// occurrences.
+    pub fn search(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        let mut range = (0usize, self.len());
+        for &b in pattern.iter().rev() {
+            range = self.backward_step(range.0, range.1, b)?;
+        }
+        Some(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text() -> Vec<u8> {
+        b"ACGTACGTGGTACA\x00".to_vec()
+    }
+
+    #[test]
+    fn bwt_of_known_text() {
+        // Verify against the definition: bwt[i] = text[sa[i]-1].
+        let t = text();
+        let b = Bwt::build(&t);
+        assert_eq!(b.len(), t.len());
+        for r in 0..b.len() {
+            let p = b.sa_at(r);
+            let expect = if p == 0 { t[t.len() - 1] } else { t[p - 1] };
+            assert_eq!(b.occ_probe(r), expect);
+        }
+    }
+
+    impl Bwt {
+        /// Test helper: the BWT byte at row r.
+        fn occ_probe(&self, r: usize) -> u8 {
+            self.bwt[r]
+        }
+    }
+
+    #[test]
+    fn occ_counts_match_naive() {
+        let t = text();
+        let b = Bwt::build(&t);
+        for byte in [0u8, b'A', b'C', b'G', b'T'] {
+            let code = b.code(byte).unwrap();
+            let mut naive = 0usize;
+            for i in 0..=b.len() {
+                assert_eq!(b.occ(code, i), naive, "byte {byte} i {i}");
+                if i < b.len() {
+                    if b.occ_probe(i) == byte {
+                        naive += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_finds_all_occurrences() {
+        let t = text();
+        let b = Bwt::build(&t);
+        let (lo, hi) = b.search(b"ACGT").unwrap();
+        let mut pos: Vec<usize> = (lo..hi).map(|r| b.sa_at(r)).collect();
+        pos.sort_unstable();
+        assert_eq!(pos, vec![0, 4]);
+    }
+
+    #[test]
+    fn search_single_occurrence() {
+        let b = Bwt::build(&text());
+        let (lo, hi) = b.search(b"GGTA").unwrap();
+        assert_eq!(hi - lo, 1);
+        assert_eq!(b.sa_at(lo), 8);
+    }
+
+    #[test]
+    fn search_absent_pattern() {
+        let b = Bwt::build(&text());
+        assert!(b.search(b"AAAA").is_none());
+        assert!(b.search(b"ACGN").is_none());
+    }
+
+    #[test]
+    fn search_empty_pattern_is_full_range() {
+        let b = Bwt::build(&text());
+        assert_eq!(b.search(b""), Some((0, b.len())));
+    }
+
+    #[test]
+    fn build_rejects_bad_terminator() {
+        let r = std::panic::catch_unwind(|| Bwt::build(b"ACGT"));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| Bwt::build(b"AC\x00GT\x00"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn long_text_checkpoint_boundaries() {
+        // Text spanning several checkpoint rows exercises both Occ paths.
+        let mut t: Vec<u8> = b"ACGT".repeat(50);
+        t.push(0);
+        let b = Bwt::build(&t);
+        let (lo, hi) = b.search(b"GTACGT").unwrap();
+        assert_eq!(hi - lo, 49);
+        for r in lo..hi {
+            let p = b.sa_at(r);
+            assert_eq!(&t[p..p + 6], b"GTACGT");
+        }
+    }
+}

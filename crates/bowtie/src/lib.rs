@@ -1,0 +1,27 @@
+//! Bowtie substrate: an FM-index short-read aligner.
+//!
+//! Trinity's Chrysalis step begins by aligning every input read against the
+//! Inchworm contigs with Bowtie (an ungapped FM-index aligner). The paper
+//! parallelizes this by splitting the *target* FASTA across ranks; each
+//! rank builds an index over its slice and aligns all reads against it.
+//!
+//! This crate is the aligner itself, same algorithmic family as Bowtie 1:
+//!
+//! * [`suffix`] — suffix-array construction (prefix doubling);
+//! * [`bwt`] — Burrows–Wheeler transform and the C/Occ tables;
+//! * [`fmindex`] — the queryable index over a multi-contig reference with
+//!   exact backward search and position location;
+//! * [`align`] — `-v`-style alignment: up to `v` mismatches, both strands,
+//!   backtracking over the index;
+//! * [`sam`] — minimal SAM records for the alignment output files the
+//!   pipeline merges.
+
+pub mod align;
+pub mod bwt;
+pub mod fmindex;
+pub mod sam;
+pub mod suffix;
+
+pub use align::{align_read, AlignConfig, Alignment, Strand};
+pub use fmindex::FmIndex;
+pub use sam::SamRecord;

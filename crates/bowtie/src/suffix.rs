@@ -1,0 +1,111 @@
+//! Suffix-array construction by prefix doubling.
+//!
+//! O(n log n) with radix-free sorting (we sort rank pairs with the standard
+//! library's pdqsort); ample for the contig-scale references this pipeline
+//! indexes, and independent of alphabet size so the separator bytes used to
+//! join contigs need no special handling.
+
+/// Build the suffix array of `text`. Returns `sa` with `sa[i]` = start
+/// position of the i-th smallest suffix. The caller is expected to have
+/// appended a unique smallest terminator (byte 0) if total ordering of
+/// rotations matters (the BWT builder does).
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(n <= u32::MAX as usize, "text too large for u32 suffix array");
+
+    // Initial ranks = byte values.
+    let mut rank: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<u32> = vec![0; n];
+
+    let mut k = 1usize;
+    loop {
+        // Sort by (rank[i], rank[i+k]) pairs.
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+
+        // Re-rank.
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            let bump = u32::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + bump;
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break; // all ranks distinct
+        }
+        k *= 2;
+        debug_assert!(k < 2 * n, "doubling must terminate");
+    }
+    sa
+}
+
+/// Naive O(n^2 log n) construction, kept as the test oracle.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana() {
+        // Suffixes of "banana$" sorted: $ a$ ana$ anana$ banana$ na$ nana$
+        let sa = suffix_array(b"banana\x00");
+        assert_eq!(sa, vec![6, 5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(suffix_array(b"").is_empty());
+        assert_eq!(suffix_array(b"A"), vec![0]);
+    }
+
+    #[test]
+    fn all_same_byte() {
+        // Longest suffix of identical bytes is largest.
+        let sa = suffix_array(b"AAAA");
+        assert_eq!(sa, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_dna() {
+        let texts: [&[u8]; 5] = [
+            b"ACGTACGTACGT\x00",
+            b"GATTACA\x00",
+            b"AAACCCGGGTTT\x00",
+            b"ACGT\x01TGCA\x00",
+            b"TTTTTTTTAAAAAAAA\x00",
+        ];
+        for t in texts {
+            assert_eq!(suffix_array(t), suffix_array_naive(t), "text {t:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom() {
+        // Deterministic pseudo-random DNA.
+        let mut state = 12345u64;
+        let mut text: Vec<u8> = (0..500)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect();
+        text.push(0);
+        assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+}

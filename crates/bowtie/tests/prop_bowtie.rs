@@ -1,0 +1,107 @@
+//! Property-based tests for the aligner substrate: FM-index results always
+//! agree with naive string search, on any DNA reference and pattern.
+
+use bowtie::align::{align_read, AlignConfig, Strand};
+use bowtie::fmindex::FmIndex;
+use bowtie::suffix::{suffix_array, suffix_array_naive};
+use proptest::prelude::*;
+use seqio::alphabet::revcomp;
+use seqio::fasta::Record;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        len,
+    )
+}
+
+/// Count naive occurrences of `pat` in `text`.
+fn naive_count(text: &[u8], pat: &[u8]) -> usize {
+    if pat.is_empty() || pat.len() > text.len() {
+        return 0;
+    }
+    text.windows(pat.len()).filter(|w| w == &pat).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn suffix_array_matches_naive(mut text in dna(1..300)) {
+        text.push(0);
+        prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn fmindex_count_matches_naive(seqs in proptest::collection::vec(dna(5..80), 1..5),
+                                   pat in dna(1..12)) {
+        let contigs: Vec<Record> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(format!("c{i}"), s.clone()))
+            .collect();
+        let idx = FmIndex::build(&contigs);
+        let expect: usize = seqs.iter().map(|s| naive_count(s, &pat)).sum();
+        prop_assert_eq!(idx.count(&pat), expect);
+        // locate agrees with count and every hit verifies.
+        let hits = idx.locate(&pat);
+        prop_assert_eq!(hits.len(), expect);
+        for h in hits {
+            prop_assert_eq!(&seqs[h.contig][h.offset..h.offset + pat.len()], pat.as_slice());
+        }
+    }
+
+    #[test]
+    fn exact_alignment_finds_planted_read(seq in dna(40..120), start in 0usize..20, len in 12usize..24) {
+        prop_assume!(start + len <= seq.len());
+        let read = seq[start..start + len].to_vec();
+        let idx = FmIndex::build(&[Record::new("c", seq.clone())]);
+        let hits = align_read(&idx, &read, AlignConfig {
+            max_mismatches: 0,
+            max_hits: 64,
+            best_strata: true,
+            both_strands: true,
+        });
+        prop_assert!(
+            hits.iter().any(|h| h.offset == start && h.strand == Strand::Forward),
+            "planted read must be found"
+        );
+    }
+
+    #[test]
+    fn revcomp_read_found_on_reverse_strand(seq in dna(40..120)) {
+        let read = revcomp(&seq[5..30]);
+        let idx = FmIndex::build(&[Record::new("c", seq.clone())]);
+        let hits = align_read(&idx, &read, AlignConfig::default());
+        prop_assert!(hits.iter().any(|h| h.strand == Strand::Reverse && h.offset == 5));
+    }
+
+    #[test]
+    fn mismatch_budget_is_respected(seq in dna(60..120), pos in 10usize..30) {
+        let mut read = seq[5..45].to_vec();
+        let i = pos - 5;
+        read[i] = match read[i] {
+            b'A' => b'C',
+            b'C' => b'G',
+            b'G' => b'T',
+            _ => b'A',
+        };
+        let idx = FmIndex::build(&[Record::new("c", seq.clone())]);
+        // Budget 1 finds it at offset 5 with exactly 1 mismatch...
+        let hits = align_read(&idx, &read, AlignConfig {
+            max_mismatches: 1,
+            max_hits: 64,
+            best_strata: false,
+            both_strands: false,
+        });
+        prop_assert!(hits.iter().any(|h| h.offset == 5 && h.mismatches <= 1));
+        // ...and every reported alignment verifies its mismatch count.
+        for h in &hits {
+            if h.strand == Strand::Forward {
+                let region = &seq[h.offset..h.offset + read.len()];
+                let mm = region.iter().zip(&read).filter(|(a, b)| a != b).count();
+                prop_assert_eq!(mm, h.mismatches as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! GraphFromFasta drivers: shared-memory baseline and hybrid MPI+OpenMP.
+
+use kcount::counter::KmerCounts;
+use seqio::fasta::Record;
+
+use graph::unionfind::UnionFind;
+use mpisim::comm::Comm;
+use mpisim::pack::{pack_byte_strings, pack_u32s, unpack_byte_strings, unpack_u32s};
+use omp::makespan::simulate_loop;
+use omp::pool::parallel_map_timed;
+use omp::schedule::{chunked_round_robin, Schedule};
+
+use crate::config::ChrysalisConfig;
+use crate::pairs::{match_contig, pack_matches, pairs_from_matches, unpack_matches, WeldKmerIndex};
+use crate::timings::GffTimings;
+use crate::weld::{harvest_contig, KmerContigMap, WeldSupport};
+
+/// Read-only state every rank needs: the contig set, the seed-occurrence
+/// map and the read k-mer table (support oracle). Built once and shared;
+/// `prep_cost` — the *parallel* (OpenMP-accounted) build time of the seed
+/// map — is charged to each rank's clock as if it had built its own copy
+/// (see crate-level notes). The read k-mer table is produced by the
+/// Jellyfish stage and only *consumed* here.
+pub struct GffShared {
+    /// The Inchworm contigs.
+    pub contigs: Vec<Record>,
+    /// Canonical (k−1)-mer → occurrence map.
+    pub kmap: KmerContigMap,
+    /// Read k-mer counts (the weld-support oracle).
+    pub counts: KmerCounts,
+    /// Virtual cost of building the seed map with the configured threads.
+    pub prep_cost: f64,
+    /// Stage configuration.
+    pub cfg: ChrysalisConfig,
+}
+
+/// Build the seed map in parallel batches, returning the map and its
+/// virtual cost — the makespan of the batched build over the configured
+/// threads.
+///
+/// The modeled system builds this table like Jellyfish: concurrent
+/// insertion into a sharded (lock-striped) table, with no separate merge
+/// phase. Our simulation builds per-batch partials and merges them so
+/// per-batch costs can be measured cleanly; the merge is an artifact of
+/// that measurement strategy (its work is the same hashing the sharded
+/// build already pays per insert), so it is executed for real but not
+/// charged to the virtual clock.
+fn build_kmap_parallel(
+    contigs: &[Record],
+    k: usize,
+    threads: usize,
+    schedule: Schedule,
+) -> (KmerContigMap, f64) {
+    const BATCH: usize = 32;
+    let batches: Vec<(usize, &[Record])> = contigs
+        .chunks(BATCH)
+        .enumerate()
+        .map(|(i, c)| (i * BATCH, c))
+        .collect();
+    if batches.is_empty() {
+        return (KmerContigMap::build(&[], k), 0.0);
+    }
+    let (partials, costs) = parallel_map_timed(&batches, |&(off, recs)| {
+        KmerContigMap::build_with_offset(recs, k, off)
+    });
+    let par = simulate_loop(&costs, threads, schedule).makespan;
+    let mut merged = KmerContigMap::build(&[], k);
+    for p in partials {
+        merged.merge(p);
+    }
+    (merged, par)
+}
+
+impl GffShared {
+    /// Build the replicated state. `counts` is the Jellyfish read-k-mer
+    /// table at the same `k` as `cfg.k`.
+    pub fn prepare(contigs: Vec<Record>, counts: KmerCounts, cfg: ChrysalisConfig) -> Self {
+        assert_eq!(
+            counts.k(),
+            cfg.k,
+            "read k-mer table must use the stage's k"
+        );
+        let (kmap, prep_cost) = build_kmap_parallel(&contigs, cfg.k, cfg.threads, cfg.schedule);
+        GffShared {
+            contigs,
+            kmap,
+            counts,
+            prep_cost,
+            cfg,
+        }
+    }
+
+    fn support(&self) -> WeldSupport<'_> {
+        WeldSupport::new(&self.counts, self.cfg.min_weld_support)
+    }
+}
+
+/// GraphFromFasta's result: pooled welds, contig pairs and the component
+/// clustering (identical on every rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GffOutput {
+    /// Pooled, deduplicated welds in rank order.
+    pub welds: Vec<Vec<u8>>,
+    /// Welded contig pairs (`a < b`, sorted).
+    pub pairs: Vec<(u32, u32)>,
+    /// Component id per contig.
+    pub component_of: Vec<usize>,
+    /// Contig indices per component.
+    pub components: Vec<Vec<usize>>,
+    /// This rank's phase timings.
+    pub timings: GffTimings,
+}
+
+/// Cluster contigs from welded pairs with union-find.
+pub fn cluster(n_contigs: usize, pairs: &[(u32, u32)]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let mut uf = UnionFind::new(n_contigs);
+    for &(a, b) in pairs {
+        uf.union(a as usize, b as usize);
+    }
+    uf.into_components()
+}
+
+/// The items of one rank's chunked-round-robin share, flattened.
+fn rank_items(n: usize, rank: usize, size: usize, chunk: usize) -> Vec<u32> {
+    let groups = chunked_round_robin(n, size, chunk);
+    groups[rank]
+        .iter()
+        .flat_map(|c| c.start as u32..c.end as u32)
+        .collect()
+}
+
+fn dedup_preserving_order(welds: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let mut seen = std::collections::HashSet::new();
+    welds.into_iter().filter(|w| seen.insert(w.clone())).collect()
+}
+
+/// Shared-memory (OpenMP-only) GraphFromFasta: the paper's baseline,
+/// "run with 16 threads on one node".
+pub fn gff_shared_memory(shared: &GffShared) -> GffOutput {
+    let cfg = &shared.cfg;
+    let n = shared.contigs.len();
+    let items: Vec<u32> = (0..n as u32).collect();
+    let support = shared.support();
+    let mut timings = GffTimings::default();
+    // The seed-map build is an OpenMP-parallel region; its virtual cost is
+    // part of the stage total but not of the "non-parallel" bucket.
+    let prep = shared.prep_cost;
+
+    // Loop 1 (OpenMP dynamic over all contigs).
+    let (weld_lists, costs) = parallel_map_timed(&items, |&i| {
+        harvest_contig(i, &shared.contigs, &shared.kmap, &support, cfg)
+    });
+    timings.loop1 = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
+    let pooled: Vec<Vec<u8>> = weld_lists.into_iter().flatten().collect();
+
+    // Weld k-mer index: "setting up the k-mers before the second loop"
+    // (serial region).
+    let t0 = std::time::Instant::now();
+    let weld_index = WeldKmerIndex::build(&pooled, cfg.k);
+    timings.serial += t0.elapsed().as_secs_f64();
+
+    // Loop 2.
+    let (match_lists, costs) =
+        parallel_map_timed(&items, |&i| match_contig(i, &shared.contigs, &weld_index, cfg));
+    timings.loop2 = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
+    let matches: Vec<(u32, u32)> = match_lists.into_iter().flatten().collect();
+
+    // Clustering and output generation (serial region).
+    let t0 = std::time::Instant::now();
+    let pairs = pairs_from_matches(&matches);
+    let (component_of, components) = cluster(n, &pairs);
+    timings.serial += t0.elapsed().as_secs_f64();
+
+    timings.total = prep + timings.loop1 + timings.loop2 + timings.serial;
+    GffOutput {
+        welds: dedup_preserving_order(pooled),
+        pairs,
+        component_of,
+        components,
+        timings,
+    }
+}
+
+/// Hybrid MPI+OpenMP GraphFromFasta — one rank's program (§III-B).
+///
+/// Run it under [`mpisim::run_cluster`]; every rank returns the same
+/// welds/pairs/components, with its own timings.
+pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
+    let cfg = &shared.cfg;
+    let n = shared.contigs.len();
+    let size = comm.size();
+    let chunk = cfg.chunk_size(n, size);
+    let my_items = rank_items(n, comm.rank(), size, chunk);
+    let support = shared.support();
+    let mut timings = GffTimings::default();
+    let start = comm.clock.now();
+
+    // Replicated seed-map build (each rank pays for its own parallel copy).
+    comm.charge(shared.prep_cost);
+
+    // ---- Loop 1: weld harvest over this rank's chunks ----
+    // The compute lock keeps per-item cost measurements uncontended across
+    // concurrent rank threads (see mpisim::compute_lock).
+    let guard = mpisim::compute_lock();
+    let (weld_lists, costs) = parallel_map_timed(&my_items, |&i| {
+        harvest_contig(i, &shared.contigs, &shared.kmap, &support, cfg)
+    });
+    drop(guard);
+    let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    comm.charge(sim.makespan);
+    timings.loop1 = sim.makespan;
+
+    // Pack the weld strings into a single sequence and pool on every rank.
+    let my_welds: Vec<Vec<u8>> = weld_lists.into_iter().flatten().collect();
+    let packed = pack_byte_strings(&my_welds);
+    let t_before = comm.clock.now();
+    let parts = comm.allgatherv(&packed);
+    timings.comm1 = comm.clock.now() - t_before;
+    let pooled: Vec<Vec<u8>> = parts
+        .iter()
+        .flat_map(|p| unpack_byte_strings(p).expect("peer sent well-formed weld pack"))
+        .collect();
+
+    // Weld k-mer index: a non-parallel region on every rank.
+    let weld_index = comm.charge_measured(|| WeldKmerIndex::build(&pooled, cfg.k));
+
+    // ---- Loop 2: weld matching over the same distribution ----
+    let guard = mpisim::compute_lock();
+    let (match_lists, costs) =
+        parallel_map_timed(&my_items, |&i| match_contig(i, &shared.contigs, &weld_index, cfg));
+    drop(guard);
+    let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    comm.charge(sim.makespan);
+    timings.loop2 = sim.makespan;
+
+    // Pool the pairing indices as packed integers.
+    let my_matches: Vec<(u32, u32)> = match_lists.into_iter().flatten().collect();
+    let flat = pack_matches(&my_matches);
+    let t_before = comm.clock.now();
+    let parts = comm.allgatherv(&pack_u32s(&flat));
+    timings.comm2 = comm.clock.now() - t_before;
+    let matches: Vec<(u32, u32)> = parts
+        .iter()
+        .flat_map(|p| {
+            unpack_matches(&unpack_u32s(p).expect("peer sent whole u32s"))
+                .expect("peer sent (weld, contig) pairs")
+        })
+        .collect();
+
+    // Clustering + output generation: non-parallel, on every rank (the
+    // pooled matches are identical everywhere).
+    let (pairs, component_of, components) = comm.charge_measured(|| {
+        let pairs = pairs_from_matches(&matches);
+        let (component_of, components) = cluster(n, &pairs);
+        (pairs, component_of, components)
+    });
+    comm.barrier();
+
+    // Everything that is not the parallel prep, a hybrid loop or an
+    // exchange counts as "non-parallel" — the paper's definition (weld
+    // k-mer setup + final output generation + closing sync).
+    timings.total = comm.clock.now() - start;
+    timings.serial = (timings.total
+        - shared.prep_cost
+        - timings.loop1
+        - timings.comm1
+        - timings.loop2
+        - timings.comm2)
+        .max(0.0);
+
+    GffOutput {
+        welds: dedup_preserving_order(pooled),
+        pairs,
+        component_of,
+        components,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcount::counter::{count_kmers, CounterConfig};
+    use mpisim::{run_cluster, NetModel};
+    use std::sync::Arc;
+
+    fn rec(id: &str, seq: &[u8]) -> Record {
+        Record::new(id, seq.to_vec())
+    }
+
+    const K: usize = 8;
+    const SEED: &[u8] = b"GGATACT";
+    const A_LEFT: &[u8] = b"CGAGTCGGTTAT";
+    const B_RIGHT: &[u8] = b"GTGAAGTGTTCC";
+
+    /// Contigs a and b meet at a read-supported junction; c is isolated.
+    fn fixtures() -> GffShared {
+        let a = [A_LEFT, SEED, b"CTTCGGCAAGTC".as_slice()].concat();
+        let b = [b"AAAGCGGCACTT".as_slice(), SEED, B_RIGHT].concat();
+        let c = b"TGTTCGCGTGGTGCTGAGACAAAGCACGCCAT".to_vec();
+        let contigs = vec![rec("a", &a), rec("b", &b), rec("c", &c)];
+        // Reads: the contigs themselves plus the junction window, so every
+        // weldmer k-mer is covered.
+        let junction = [&A_LEFT[A_LEFT.len() - K / 2..], SEED, &B_RIGHT[..K / 2]].concat();
+        let reads = vec![a.clone(), b.clone(), c.clone(), junction];
+        let counts = count_kmers(&reads, CounterConfig::new(K));
+        GffShared::prepare(contigs, counts, ChrysalisConfig::small(K))
+    }
+
+    #[test]
+    fn shared_memory_welds_related_contigs() {
+        let out = gff_shared_memory(&fixtures());
+        assert!(!out.welds.is_empty());
+        assert!(out.pairs.contains(&(0, 1)), "pairs: {:?}", out.pairs);
+        assert_eq!(out.component_of[0], out.component_of[1]);
+        assert_ne!(out.component_of[0], out.component_of[2]);
+        assert!(out.timings.total > 0.0);
+    }
+
+    #[test]
+    fn hybrid_matches_shared_memory_output() {
+        let shared = Arc::new(fixtures());
+        let serial = gff_shared_memory(&shared);
+        for ranks in [1usize, 2, 3, 5] {
+            let sh = Arc::clone(&shared);
+            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
+                gff_hybrid(comm, &sh)
+            });
+            for o in &outs {
+                assert_eq!(o.value.pairs, serial.pairs, "ranks={ranks}");
+                assert_eq!(o.value.component_of, serial.component_of);
+                let mut a = o.value.welds.clone();
+                let mut b = serial.welds.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_ranks_agree_with_each_other() {
+        let shared = Arc::new(fixtures());
+        let outs = run_cluster(4, NetModel::ideal(), move |comm| gff_hybrid(comm, &shared));
+        for o in &outs[1..] {
+            assert_eq!(o.value.pairs, outs[0].value.pairs);
+            assert_eq!(o.value.component_of, outs[0].value.component_of);
+        }
+    }
+
+    #[test]
+    fn hybrid_timings_are_consistent() {
+        let shared = Arc::new(fixtures());
+        let prep = shared.prep_cost;
+        let outs = run_cluster(2, NetModel::idataplex(), move |comm| {
+            gff_hybrid(comm, &shared)
+        });
+        for o in &outs {
+            let t = o.value.timings;
+            assert!(t.total > 0.0);
+            assert!(t.loop1 >= 0.0 && t.loop2 >= 0.0 && t.serial >= 0.0);
+            let parts = prep + t.loop1 + t.comm1 + t.loop2 + t.comm2 + t.serial;
+            assert!(
+                (parts - t.total).abs() <= 1e-6 + 0.05 * t.total,
+                "phases {parts} ≉ total {}",
+                t.total
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_unrelated_contigs_stay_apart() {
+        let (comp_of, comps) = cluster(4, &[]);
+        assert_eq!(comp_of, vec![0, 1, 2, 3]);
+        assert_eq!(comps.len(), 4);
+    }
+
+    #[test]
+    fn cluster_chains_merge() {
+        let (comp_of, comps) = cluster(4, &[(0, 1), (1, 2)]);
+        assert_eq!(comp_of[0], comp_of[2]);
+        assert_ne!(comp_of[0], comp_of[3]);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn rank_items_cover_all() {
+        let n = 100;
+        let mut all: Vec<u32> = (0..4).flat_map(|r| rank_items(n, r, 4, 7)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_kmap_build_matches_serial() {
+        let shared = fixtures();
+        let serial = KmerContigMap::build(&shared.contigs, K);
+        assert_eq!(shared.kmap.len(), serial.len());
+        // Spot-check the junction seed's occurrence list.
+        let seed = seqio::kmer::Kmer::from_bases(SEED).unwrap().canonical();
+        assert_eq!(shared.kmap.occurrences(seed), serial.occurrences(seed));
+    }
+
+    #[test]
+    fn empty_contig_set() {
+        let counts = count_kmers::<Vec<u8>>(&[], CounterConfig::new(K));
+        let shared = GffShared::prepare(vec![], counts, ChrysalisConfig::small(K));
+        let out = gff_shared_memory(&shared);
+        assert!(out.welds.is_empty());
+        assert!(out.pairs.is_empty());
+        assert!(out.components.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic partitioning — the paper's stated future work ("in the future, we
+// might experiment with a dynamic partitioning strategy to reduce this load
+// imbalance", §V-A).
+// ---------------------------------------------------------------------------
+
+/// Deal latency of the master work-queue: one request + one response per
+/// chunk (2 point-to-point latencies under the α model).
+fn deal_cost(net: &mpisim::NetModel) -> f64 {
+    2.0 * net.p2p(16)
+}
+
+/// Greedy replay of master-dealt dynamic chunk distribution: chunk `i` goes
+/// to the rank that becomes idle first (ties to the lowest rank), paying
+/// `deal` seconds of master-queue latency per chunk. Returns per-rank busy
+/// times and the chunk→rank assignment.
+pub fn dynamic_deal(chunk_costs: &[f64], ranks: usize, deal: f64) -> (Vec<f64>, Vec<usize>) {
+    let mut busy = vec![0.0f64; ranks.max(1)];
+    let mut owner = Vec::with_capacity(chunk_costs.len());
+    for &c in chunk_costs {
+        let mut best = 0;
+        for r in 1..busy.len() {
+            if busy[r] < busy[best] {
+                best = r;
+            }
+        }
+        busy[best] += c + deal;
+        owner.push(best);
+    }
+    (busy, owner)
+}
+
+/// Hybrid GraphFromFasta with **dynamic rank-level partitioning**: instead
+/// of the static chunked round-robin, a master work-queue deals the next
+/// chunk to whichever rank finishes first.
+///
+/// Simulation note: the modeled system computes each chunk on the rank the
+/// queue deals it to. To replay the dealing protocol deterministically the
+/// simulation executes and measures every chunk once on the master and
+/// ships results over the uncharged [`Comm::transport_bcast`]; each rank
+/// then charges the busy time the dealing replay assigns it (including the
+/// per-chunk queue latency) and contributes *its* chunks' welds to the
+/// same `MPI_Allgatherv` pooling as the static driver. Outputs are
+/// identical to [`gff_hybrid`]; only the load balance differs.
+pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
+    use mpisim::pack::{pack_u64s, unpack_u64s};
+
+    let cfg = &shared.cfg;
+    let n = shared.contigs.len();
+    let size = comm.size();
+    let chunk = cfg.chunk_size(n, size);
+    let support = shared.support();
+    let mut timings = GffTimings::default();
+    let start = comm.clock.now();
+    let deal = deal_cost(&comm.net);
+
+    comm.charge(shared.prep_cost);
+
+    // ---- Loop 1 under dynamic dealing ----
+    let chunks = omp::schedule::chunk_sequence(n, size, Schedule::Dynamic { chunk });
+    let payload = if comm.is_root() {
+        let guard = mpisim::compute_lock();
+        let items: Vec<u32> = (0..n as u32).collect();
+        let (weld_lists, costs) = parallel_map_timed(&items, |&i| {
+            harvest_contig(i, &shared.contigs, &shared.kmap, &support, cfg)
+        });
+        drop(guard);
+        // Per-chunk inner-OpenMP makespans + per-chunk weld payloads.
+        let mut chunk_costs = Vec::with_capacity(chunks.len());
+        let mut chunk_welds: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            chunk_costs.push(
+                simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan,
+            );
+            let welds: Vec<Vec<u8>> = weld_lists[c.start..c.end]
+                .iter()
+                .flatten()
+                .cloned()
+                .collect();
+            chunk_welds.push(pack_byte_strings(&welds));
+        }
+        let mut parts = vec![pack_u64s(
+            &chunk_costs.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+        )];
+        parts.extend(chunk_welds);
+        pack_byte_strings(&parts)
+    } else {
+        Vec::new()
+    };
+    let payload = comm.transport_bcast(0, &payload);
+    let mut parts = unpack_byte_strings(&payload).expect("root sent chunk payloads");
+    let chunk_welds: Vec<Vec<u8>> = parts.split_off(1);
+    let chunk_costs: Vec<f64> = unpack_u64s(&parts[0])
+        .expect("whole u64s")
+        .into_iter()
+        .map(f64::from_bits)
+        .collect();
+
+    let (busy, owner) = dynamic_deal(&chunk_costs, size, deal);
+    comm.charge(busy[comm.rank()]);
+    timings.loop1 = busy[comm.rank()];
+
+    // Pool: each rank contributes the welds of the chunks dealt to it.
+    let my_welds: Vec<Vec<u8>> = owner
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o == comm.rank())
+        .flat_map(|(i, _)| unpack_byte_strings(&chunk_welds[i]).expect("weld pack"))
+        .collect();
+    let t_before = comm.clock.now();
+    let pooled_parts = comm.allgatherv(&pack_byte_strings(&my_welds));
+    timings.comm1 = comm.clock.now() - t_before;
+    let pooled: Vec<Vec<u8>> = pooled_parts
+        .iter()
+        .flat_map(|p| unpack_byte_strings(p).expect("peer sent welds"))
+        .collect();
+
+    let weld_index = comm.charge_measured(|| WeldKmerIndex::build(&pooled, cfg.k));
+
+    // ---- Loop 2 under dynamic dealing ----
+    let payload = if comm.is_root() {
+        let guard = mpisim::compute_lock();
+        let items: Vec<u32> = (0..n as u32).collect();
+        let (match_lists, costs) = parallel_map_timed(&items, |&i| {
+            match_contig(i, &shared.contigs, &weld_index, cfg)
+        });
+        drop(guard);
+        let mut chunk_costs = Vec::with_capacity(chunks.len());
+        let mut chunk_matches: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            chunk_costs.push(
+                simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan,
+            );
+            let m: Vec<(u32, u32)> = match_lists[c.start..c.end]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            chunk_matches.push(pack_u32s(&pack_matches(&m)));
+        }
+        let mut parts = vec![pack_u64s(
+            &chunk_costs.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+        )];
+        parts.extend(chunk_matches);
+        pack_byte_strings(&parts)
+    } else {
+        Vec::new()
+    };
+    let payload = comm.transport_bcast(0, &payload);
+    let mut parts = unpack_byte_strings(&payload).expect("root sent chunk payloads");
+    let chunk_matches: Vec<Vec<u8>> = parts.split_off(1);
+    let chunk_costs: Vec<f64> = unpack_u64s(&parts[0])
+        .expect("whole u64s")
+        .into_iter()
+        .map(f64::from_bits)
+        .collect();
+
+    let (busy, owner) = dynamic_deal(&chunk_costs, size, deal);
+    comm.charge(busy[comm.rank()]);
+    timings.loop2 = busy[comm.rank()];
+
+    let my_matches: Vec<u32> = owner
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o == comm.rank())
+        .flat_map(|(i, _)| unpack_u32s(&chunk_matches[i]).expect("whole u32s"))
+        .collect();
+    let t_before = comm.clock.now();
+    let pooled_parts = comm.allgatherv(&pack_u32s(&my_matches));
+    timings.comm2 = comm.clock.now() - t_before;
+    let matches: Vec<(u32, u32)> = pooled_parts
+        .iter()
+        .flat_map(|p| {
+            unpack_matches(&unpack_u32s(p).expect("whole u32s")).expect("pairs")
+        })
+        .collect();
+
+    let (pairs, component_of, components) = comm.charge_measured(|| {
+        let pairs = pairs_from_matches(&matches);
+        let (component_of, components) = cluster(n, &pairs);
+        (pairs, component_of, components)
+    });
+    comm.barrier();
+
+    timings.total = comm.clock.now() - start;
+    timings.serial = (timings.total
+        - shared.prep_cost
+        - timings.loop1
+        - timings.comm1
+        - timings.loop2
+        - timings.comm2)
+        .max(0.0);
+
+    GffOutput {
+        welds: dedup_preserving_order(pooled),
+        pairs,
+        component_of,
+        components,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+    use kcount::counter::{count_kmers, CounterConfig};
+    use mpisim::{run_cluster, NetModel};
+    use std::sync::Arc;
+
+    const K: usize = 8;
+    const SEED: &[u8] = b"GGATACT";
+    const A_LEFT: &[u8] = b"CGAGTCGGTTAT";
+    const B_RIGHT: &[u8] = b"GTGAAGTGTTCC";
+
+    fn fixtures() -> GffShared {
+        let a = [A_LEFT, SEED, b"CTTCGGCAAGTC".as_slice()].concat();
+        let b = [b"AAAGCGGCACTT".as_slice(), SEED, B_RIGHT].concat();
+        let c = b"TGTTCGCGTGGTGCTGAGACAAAGCACGCCAT".to_vec();
+        let contigs = vec![
+            Record::new("a", a.clone()),
+            Record::new("b", b.clone()),
+            Record::new("c", c.clone()),
+        ];
+        let junction = [&A_LEFT[A_LEFT.len() - K / 2..], SEED, &B_RIGHT[..K / 2]].concat();
+        let reads = vec![a, b, c, junction];
+        let counts = count_kmers(&reads, CounterConfig::new(K));
+        GffShared::prepare(contigs, counts, ChrysalisConfig::small(K))
+    }
+
+    #[test]
+    fn dynamic_matches_static_output() {
+        let shared = Arc::new(fixtures());
+        let serial = gff_shared_memory(&shared);
+        for ranks in [1usize, 2, 4] {
+            let sh = Arc::clone(&shared);
+            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
+                gff_hybrid_dynamic(comm, &sh)
+            });
+            for o in &outs {
+                assert_eq!(o.value.pairs, serial.pairs, "ranks={ranks}");
+                assert_eq!(o.value.component_of, serial.component_of);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_deal_balances_skew() {
+        // Front-loaded skewed chunk costs: dynamic dealing must beat
+        // round-robin's worst rank.
+        let costs: Vec<f64> = (0..64)
+            .map(|i| 1.0 + 49.0 * (-(i as f64) / 8.0).exp())
+            .collect();
+        let ranks = 4;
+        let (busy, owner) = dynamic_deal(&costs, ranks, 0.0);
+        assert_eq!(owner.len(), costs.len());
+        let dyn_max = busy.iter().cloned().fold(0.0, f64::max);
+        // Static round-robin dealing of the same chunks.
+        let mut rr = vec![0.0f64; ranks];
+        for (i, &c) in costs.iter().enumerate() {
+            rr[i % ranks] += c;
+        }
+        let rr_max = rr.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            dyn_max <= rr_max + 1e-9,
+            "dynamic ({dyn_max}) must not lose to round-robin ({rr_max})"
+        );
+        // Work conserved.
+        let total: f64 = costs.iter().sum();
+        assert!((busy.iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deal_latency_is_charged() {
+        let costs = vec![1.0; 8];
+        let (free, _) = dynamic_deal(&costs, 2, 0.0);
+        let (paid, _) = dynamic_deal(&costs, 2, 0.5);
+        assert!(paid.iter().sum::<f64>() > free.iter().sum::<f64>());
+    }
+}

@@ -1,0 +1,52 @@
+//! Chrysalis — the paper's primary contribution, reimplemented in Rust with
+//! both the original shared-memory (OpenMP-style) execution and the hybrid
+//! MPI+OpenMP execution of Sachdeva et al. (IPDPSW/HiCOMB 2014).
+//!
+//! Chrysalis sits between Inchworm and Butterfly in the Trinity pipeline:
+//!
+//! 1. **Bowtie** ([`bowtie_mpi`]) aligns every input read to the Inchworm
+//!    contigs; the paper distributes this by splitting the contig FASTA
+//!    across ranks (PyFasta) and merging per-rank SAM files.
+//! 2. **GraphFromFasta** ([`graph_from_fasta`]) clusters contigs into
+//!    components: loop 1 ([`weld`]) harvests read-supported 2k-length
+//!    "welding" subsequences shared between contigs; loop 2 ([`pairs`])
+//!    finds contig pairs sharing a weld; union-find turns pairs (plus
+//!    paired-end scaffold links, [`scaffold`]) into components.
+//! 3. **ReadsToTranscripts** ([`reads_to_transcripts`]) assigns every read
+//!    to the component sharing the most k-mers, streaming the read file in
+//!    `max_mem_reads`-sized chunks.
+//!
+//! Both compute loops follow the paper's hybrid scheme: a **chunked
+//! round-robin** distribution of contigs over MPI ranks (Fig. 3), dynamic
+//! OpenMP scheduling within a rank, and `MPI_Allgatherv` pooling of loop
+//! outputs (packed strings after loop 1, packed integer arrays after
+//! loop 2).
+//!
+//! ## Simulation notes (documented deviations)
+//!
+//! Ranks are in-process threads with virtual clocks (see `mpisim`). Two
+//! deliberate simplifications keep a 192-rank simulation tractable on one
+//! machine, both semantically equivalent to the paper's code:
+//!
+//! * Read-only *replicated* structures (the k-mer→contig map, the read
+//!   support index, the k-mer→component map) are built once and shared by
+//!   reference; every rank charges the measured build cost to its clock,
+//!   exactly as if it had built its own copy concurrently.
+//! * Final output generation (clustering, bundle emission, file merges)
+//!   runs on the master rank with its measured cost; peers synchronize
+//!   through the closing collective, so cluster elapsed time is identical
+//!   to the redundant-execution layout.
+
+pub mod bowtie_mpi;
+pub mod config;
+pub mod graph_from_fasta;
+pub mod pairs;
+pub mod reads_to_transcripts;
+pub mod scaffold;
+pub mod timings;
+pub mod weld;
+
+pub use config::ChrysalisConfig;
+pub use graph_from_fasta::{gff_hybrid, gff_hybrid_dynamic, gff_shared_memory, GffOutput, GffShared};
+pub use reads_to_transcripts::{rtt_hybrid, rtt_hybrid_striped, rtt_shared_memory, RttOutput, RttShared};
+pub use timings::{GffTimings, PhaseSpread, RttTimings};

@@ -1,0 +1,480 @@
+//! ReadsToTranscripts: assign each read to the component (Inchworm bundle)
+//! sharing the most k-mers.
+//!
+//! The hybrid scheme (§III-C) avoids communication entirely: **every rank
+//! streams the whole read file**, uploading `max_mem_reads`-sized chunks,
+//! but only *processes* the chunks whose index is congruent to its rank —
+//! "this approach does make every process read redundant data … but
+//! excludes the necessity of MPI communication". Per-rank outputs are
+//! concatenated by the master at the end (a cheap `cat`, <15 s in the
+//! paper).
+
+use std::collections::HashMap;
+
+use seqio::fasta::Record;
+use seqio::kmer::CanonicalKmers;
+
+use mpisim::comm::Comm;
+use mpisim::pack::{pack_u32s, unpack_u32s};
+use omp::makespan::simulate_loop;
+use omp::pool::parallel_map_timed;
+
+use crate::config::ChrysalisConfig;
+use crate::timings::RttTimings;
+
+/// Read-only state for the stage: the read set (standing in for the
+/// streamed FASTA file) and the replicated k-mer→component table.
+pub struct RttShared {
+    /// All input reads, in file order.
+    pub reads: Vec<Record>,
+    /// Canonical k-mer → component table ("assignment of k-mers to
+    /// Inchworm bundles", OpenMP-only in the paper).
+    pub kmer_to_component: HashMap<u64, u32>,
+    /// Measured cost of building the table (seconds).
+    pub kmer_setup_cost: f64,
+    /// Number of components.
+    pub n_components: usize,
+    /// Stage configuration.
+    pub cfg: ChrysalisConfig,
+}
+
+impl RttShared {
+    /// Build the replicated table from the clustered contigs (measured).
+    /// `components[c]` lists contig indices of component `c`.
+    pub fn prepare(
+        reads: Vec<Record>,
+        contigs: &[Record],
+        components: &[Vec<usize>],
+        cfg: ChrysalisConfig,
+    ) -> Self {
+        // "the OpenMP-enabled assignment of k-mers to Inchworm bundles":
+        // the table build parallelizes over components; per-batch costs are
+        // measured and replayed as a makespan, like the other parallel
+        // builds. The sequential merge below is a simulation artifact (a
+        // sharded concurrent table has no merge phase) and is not charged.
+        let batches: Vec<(usize, &[Vec<usize>])> = components
+            .chunks(16)
+            .enumerate()
+            .map(|(i, c)| (i * 16, c))
+            .collect();
+        let (partials, costs) = omp::pool::parallel_map_timed(&batches, |&(base, comps)| {
+            let mut map: HashMap<u64, u32> = HashMap::new();
+            for (ci, members) in comps.iter().enumerate() {
+                for &m in members {
+                    if let Ok(iter) = CanonicalKmers::new(&contigs[m].seq, cfg.k) {
+                        for (_, km) in iter {
+                            // First component to claim a k-mer keeps it
+                            // (ids are dense and deterministic).
+                            map.entry(km.packed()).or_insert((base + ci) as u32);
+                        }
+                    }
+                }
+            }
+            map
+        });
+        let kmer_setup_cost = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
+        let mut map: HashMap<u64, u32> = HashMap::new();
+        for p in partials {
+            for (k, c) in p {
+                // Smallest component id wins, preserving the sequential
+                // first-claim semantics across batch boundaries.
+                map.entry(k)
+                    .and_modify(|cur| {
+                        if c < *cur {
+                            *cur = c;
+                        }
+                    })
+                    .or_insert(c);
+            }
+        }
+        RttShared {
+            reads,
+            kmer_to_component: map,
+            kmer_setup_cost,
+            n_components: components.len(),
+            cfg,
+        }
+    }
+
+    /// Assign one read: the component with the most shared k-mers, ties to
+    /// the smallest component id. `None` if below `min_read_kmers`.
+    pub fn assign(&self, read: &[u8]) -> Option<u32> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let iter = CanonicalKmers::new(read, self.cfg.k).ok()?;
+        for (_, km) in iter {
+            if let Some(&c) = self.kmer_to_component.get(&km.packed()) {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n >= self.cfg.min_read_kmers.max(1))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+    }
+}
+
+/// The stage output: `(read index, component)` assignments in read order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttOutput {
+    /// Assigned reads (unassignable reads are omitted, as in Trinity).
+    pub assignments: Vec<(u32, u32)>,
+    /// This rank's phase timings.
+    pub timings: RttTimings,
+}
+
+/// Simulated "upload" of one chunk: walk the bytes as a parser would.
+/// Returns the byte count; the measured duration stands in for file I/O.
+fn stream_chunk(reads: &[Record]) -> usize {
+    let mut bytes = 0usize;
+    for r in reads {
+        // Touch every byte so the measured cost scales with data volume.
+        bytes += r.seq.iter().map(|&b| (b & 0x0f) as usize).sum::<usize>() & 0xff;
+        bytes += r.seq.len() + r.id.len();
+    }
+    bytes
+}
+
+/// Assign a chunk's reads (the OpenMP-parallel inner loop); returns
+/// assignments plus the simulated loop makespan.
+fn assign_chunk(
+    shared: &RttShared,
+    base: usize,
+    chunk: &[Record],
+) -> (Vec<(u32, u32)>, f64) {
+    let items: Vec<usize> = (0..chunk.len()).collect();
+    let (results, costs) = parallel_map_timed(&items, |&i| shared.assign(&chunk[i].seq));
+    let makespan = simulate_loop(&costs, shared.cfg.threads, shared.cfg.schedule).makespan;
+    let assignments = results
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|c| ((base + i) as u32, c)))
+        .collect();
+    (assignments, makespan)
+}
+
+/// Shared-memory (OpenMP-only) ReadsToTranscripts: the baseline
+/// ("on a single node, … using 16 threads").
+pub fn rtt_shared_memory(shared: &RttShared) -> RttOutput {
+    let mut timings = RttTimings {
+        kmer_setup: shared.kmer_setup_cost,
+        ..Default::default()
+    };
+    let mut assignments = Vec::new();
+    let chunk_size = shared.cfg.max_mem_reads.max(1);
+    for (ci, chunk) in shared.reads.chunks(chunk_size).enumerate() {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(stream_chunk(chunk));
+        timings.io += t0.elapsed().as_secs_f64();
+        let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
+        assignments.append(&mut a);
+        timings.main_loop += makespan;
+    }
+    timings.total = timings.kmer_setup + timings.io + timings.main_loop;
+    RttOutput {
+        assignments,
+        timings,
+    }
+}
+
+/// Hybrid MPI+OpenMP ReadsToTranscripts — one rank's program (§III-C).
+pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
+    let start = comm.clock.now();
+    let mut timings = RttTimings::default();
+
+    // Replicated k-mer→bundle table (OpenMP-only region, per rank).
+    comm.charge(shared.kmer_setup_cost);
+    timings.kmer_setup = shared.kmer_setup_cost;
+
+    let size = comm.size();
+    let rank = comm.rank();
+    let chunk_size = shared.cfg.max_mem_reads.max(1);
+    let mut my_assignments: Vec<(u32, u32)> = Vec::new();
+
+    // Hold the compute lock for the whole streaming loop: there is no
+    // communication inside, and uncontended measurements keep the virtual
+    // clock comparable across rank counts.
+    let guard = mpisim::compute_lock();
+    for (ci, chunk) in shared.reads.chunks(chunk_size).enumerate() {
+        // Every rank reads (and pays for) every chunk...
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(stream_chunk(chunk));
+        let io = t0.elapsed().as_secs_f64();
+        comm.charge(io);
+        timings.io += io;
+        // ...but only processes the chunks congruent to its rank.
+        if ci % size == rank {
+            let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
+            comm.charge(makespan);
+            timings.main_loop += makespan;
+            my_assignments.append(&mut a);
+        }
+    }
+
+    drop(guard);
+
+    // Each rank writes its own output file; the master concatenates them.
+    let flat: Vec<u32> = my_assignments
+        .iter()
+        .flat_map(|&(r, c)| [r, c])
+        .collect();
+    let t_before = comm.clock.now();
+    let gathered = comm.gatherv(0, &pack_u32s(&flat));
+    let merged_bytes = if let Some(parts) = gathered {
+        // Master: "a simple cat command".
+        let merged = comm.charge_measured(|| {
+            let mut all: Vec<(u32, u32)> = Vec::new();
+            for p in &parts {
+                let flat = unpack_u32s(p).expect("peer sent whole u32s");
+                all.extend(flat.chunks_exact(2).map(|c| (c[0], c[1])));
+            }
+            all.sort_unstable();
+            all
+        });
+        pack_u32s(&merged.iter().flat_map(|&(r, c)| [r, c]).collect::<Vec<u32>>())
+    } else {
+        Vec::new()
+    };
+    // Distribute the merged table so every rank returns the same output
+    // (in the paper only the master's file exists; broadcasting keeps the
+    // simulation's outputs comparable without changing the timing story).
+    let merged = comm.bcast(0, &merged_bytes);
+    timings.concat = comm.clock.now() - t_before;
+
+    let flat = unpack_u32s(&merged).expect("root sent whole u32s");
+    let assignments: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+
+    timings.total = comm.clock.now() - start;
+    RttOutput {
+        assignments,
+        timings,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    pub(crate) fn rec(id: &str, seq: &[u8]) -> Record {
+        Record::new(id, seq.to_vec())
+    }
+
+    pub(crate) const C0: &[u8] = b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC";
+    pub(crate) const C1: &[u8] = b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG";
+
+    pub(crate) fn fixtures() -> RttShared {
+        let contigs = vec![rec("c0", C0), rec("c1", C1)];
+        let components = vec![vec![0], vec![1]];
+        // Reads drawn from each contig, interleaved.
+        let mut reads = Vec::new();
+        for i in 0..8 {
+            reads.push(rec(&format!("r{}a", i), &C0[i..i + 16]));
+            reads.push(rec(&format!("r{}b", i), &C1[i..i + 16]));
+        }
+        // One junk read matching nothing.
+        reads.push(rec("junk", b"TTTTTTTTTTTTTTTT"));
+        let mut cfg = ChrysalisConfig::small(8);
+        cfg.max_mem_reads = 3;
+        RttShared::prepare(reads, &contigs, &components, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{fixtures, rec, C0, C1};
+    use super::*;
+    use mpisim::{run_cluster, NetModel};
+    use std::sync::Arc;
+
+    #[test]
+    fn assign_prefers_majority_component() {
+        let shared = fixtures();
+        assert_eq!(shared.assign(&C0[..16]), Some(0));
+        assert_eq!(shared.assign(&C1[..16]), Some(1));
+        assert_eq!(shared.assign(b"TTTTTTTTTTTTTTTT"), None);
+    }
+
+    #[test]
+    fn shared_memory_assigns_all_real_reads() {
+        let shared = fixtures();
+        let out = rtt_shared_memory(&shared);
+        assert_eq!(out.assignments.len(), 16); // junk read dropped
+        for &(r, c) in &out.assignments {
+            let expect = if shared.reads[r as usize].id.ends_with('a') {
+                0
+            } else {
+                1
+            };
+            assert_eq!(c, expect, "read {r}");
+        }
+        assert!(out.timings.total > 0.0);
+    }
+
+    #[test]
+    fn hybrid_matches_shared_memory() {
+        let shared = Arc::new(fixtures());
+        let serial = rtt_shared_memory(&shared);
+        for ranks in [1usize, 2, 3, 4] {
+            let sh = Arc::clone(&shared);
+            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| rtt_hybrid(comm, &sh));
+            for o in &outs {
+                assert_eq!(o.value.assignments, serial.assignments, "ranks={ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_io_is_redundant_but_loop_is_split() {
+        let shared = Arc::new(fixtures());
+        let outs = run_cluster(3, NetModel::ideal(), move |comm| rtt_hybrid(comm, &shared));
+        // Every rank pays full I/O.
+        for o in &outs {
+            assert!(o.value.timings.io > 0.0);
+        }
+        // The main loop splits across ranks: each rank's loop time is
+        // below the serial sum.
+        let loop_sum: f64 = outs.iter().map(|o| o.value.timings.main_loop).sum();
+        for o in &outs {
+            assert!(o.value.timings.main_loop < loop_sum || loop_sum == 0.0);
+        }
+    }
+
+    #[test]
+    fn ties_break_to_smaller_component() {
+        let contigs = vec![rec("c0", C0), rec("c1", C0)]; // identical contigs
+        let components = vec![vec![0], vec![1]];
+        let shared = RttShared::prepare(vec![], &contigs, &components, ChrysalisConfig::small(8));
+        // All k-mers claimed by component 0 (first wins).
+        assert_eq!(shared.assign(&C0[..16]), Some(0));
+    }
+
+    #[test]
+    fn empty_reads() {
+        let contigs = vec![rec("c0", C0)];
+        let shared =
+            RttShared::prepare(vec![], &contigs, &[vec![0]], ChrysalisConfig::small(8));
+        let out = rtt_shared_memory(&shared);
+        assert!(out.assignments.is_empty());
+    }
+
+    #[test]
+    fn min_read_kmers_threshold() {
+        let contigs = vec![rec("c0", C0)];
+        let mut cfg = ChrysalisConfig::small(8);
+        cfg.min_read_kmers = 100; // unreachable
+        let shared = RttShared::prepare(vec![], &contigs, &[vec![0]], cfg);
+        assert_eq!(shared.assign(&C0[..16]), None);
+    }
+}
+
+/// ReadsToTranscripts with **striped I/O** — the paper's future-work
+/// direction ("exploring MPI-I/O for RNA-Seq data", §VI).
+///
+/// Identical to [`rtt_hybrid`] except each rank reads *only* the chunks it
+/// processes (an `MPI_File_read_at`-style strided access) instead of
+/// streaming the whole file and discarding most of it. The redundant-I/O
+/// term of §III-C disappears; everything else (assignment, gather, concat)
+/// is unchanged, so outputs match `rtt_hybrid` exactly.
+pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
+    let start = comm.clock.now();
+    let mut timings = RttTimings::default();
+
+    comm.charge(shared.kmer_setup_cost);
+    timings.kmer_setup = shared.kmer_setup_cost;
+
+    let size = comm.size();
+    let rank = comm.rank();
+    let chunk_size = shared.cfg.max_mem_reads.max(1);
+    let mut my_assignments: Vec<(u32, u32)> = Vec::new();
+
+    let guard = mpisim::compute_lock();
+    for (ci, chunk) in shared.reads.chunks(chunk_size).enumerate() {
+        if ci % size != rank {
+            continue; // striped access: other ranks' chunks are never read
+        }
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(stream_chunk(chunk));
+        let io = t0.elapsed().as_secs_f64();
+        comm.charge(io);
+        timings.io += io;
+        let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
+        comm.charge(makespan);
+        timings.main_loop += makespan;
+        my_assignments.append(&mut a);
+    }
+    drop(guard);
+
+    let flat: Vec<u32> = my_assignments
+        .iter()
+        .flat_map(|&(r, c)| [r, c])
+        .collect();
+    let t_before = comm.clock.now();
+    let gathered = comm.gatherv(0, &pack_u32s(&flat));
+    let merged_bytes = if let Some(parts) = gathered {
+        let merged = comm.charge_measured(|| {
+            let mut all: Vec<(u32, u32)> = Vec::new();
+            for p in &parts {
+                let flat = unpack_u32s(p).expect("peer sent whole u32s");
+                all.extend(flat.chunks_exact(2).map(|c| (c[0], c[1])));
+            }
+            all.sort_unstable();
+            all
+        });
+        pack_u32s(&merged.iter().flat_map(|&(r, c)| [r, c]).collect::<Vec<u32>>())
+    } else {
+        Vec::new()
+    };
+    let merged = comm.bcast(0, &merged_bytes);
+    timings.concat = comm.clock.now() - t_before;
+
+    let flat = unpack_u32s(&merged).expect("root sent whole u32s");
+    let assignments: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+
+    timings.total = comm.clock.now() - start;
+    RttOutput {
+        assignments,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod striped_tests {
+    use super::tests_support::fixtures;
+    use super::*;
+    use mpisim::{run_cluster, NetModel};
+    use std::sync::Arc;
+
+    #[test]
+    fn striped_matches_streaming_output() {
+        let shared = Arc::new(fixtures());
+        let serial = rtt_shared_memory(&shared);
+        for ranks in [1usize, 2, 4] {
+            let sh = Arc::clone(&shared);
+            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
+                rtt_hybrid_striped(comm, &sh)
+            });
+            for o in &outs {
+                assert_eq!(o.value.assignments, serial.assignments, "ranks={ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_io_shrinks_with_ranks() {
+        let shared = Arc::new(fixtures());
+        let s1 = Arc::clone(&shared);
+        let stream = run_cluster(4, NetModel::ideal(), move |comm| {
+            rtt_hybrid(comm, &s1).timings.io
+        });
+        let s2 = Arc::clone(&shared);
+        let striped = run_cluster(4, NetModel::ideal(), move |comm| {
+            rtt_hybrid_striped(comm, &s2).timings.io
+        });
+        let stream_io: f64 = stream.iter().map(|o| o.value).sum();
+        let striped_io: f64 = striped.iter().map(|o| o.value).sum();
+        assert!(
+            striped_io < stream_io,
+            "striped total I/O ({striped_io}) must undercut redundant streaming ({stream_io})"
+        );
+    }
+}

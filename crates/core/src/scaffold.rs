@@ -1,0 +1,197 @@
+//! Paired-end scaffolding links from the Bowtie alignment.
+//!
+//! "the subsequent step searches pairs of Inchworm contigs of which both
+//! ends are to be combined for the construction of scaffold, provided that
+//! some of input reads are aligned onto single end of each contigs. This
+//! output is later combined with 'welding' pairs of Inchworm contigs from
+//! GraphFromFasta for full construction of Inchworm bundles." (§III-A)
+
+use std::collections::{HashMap, HashSet};
+
+use bowtie::sam::SamRecord;
+
+/// Scaffolding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaffoldConfig {
+    /// A mate must align within this many bases of a contig end to count
+    /// as an "end" alignment.
+    pub end_window: usize,
+    /// Minimum distinct read pairs linking two contigs.
+    pub min_pairs: u32,
+}
+
+impl Default for ScaffoldConfig {
+    fn default() -> Self {
+        ScaffoldConfig {
+            end_window: 300,
+            min_pairs: 2,
+        }
+    }
+}
+
+/// Strip the mate suffix (`/1`, `/2`, `/s`) from a read name.
+fn pair_key(qname: &str) -> &str {
+    qname
+        .strip_suffix("/1")
+        .or_else(|| qname.strip_suffix("/2"))
+        .or_else(|| qname.strip_suffix("/s"))
+        .unwrap_or(qname)
+}
+
+/// Derive scaffold pairs from merged SAM records.
+///
+/// `contig_index` maps contig names to dense indices; `contig_lens` gives
+/// each contig's length (for the end-window test). Returns `(a, b)` pairs
+/// with `a < b`, sorted.
+pub fn scaffold_pairs(
+    sam: &[SamRecord],
+    contig_index: &HashMap<String, u32>,
+    contig_lens: &[usize],
+    cfg: ScaffoldConfig,
+) -> Vec<(u32, u32)> {
+    // read-pair key -> set of (contig, near_end) placements.
+    let mut placements: HashMap<&str, Vec<(u32, bool)>> = HashMap::new();
+    for rec in sam {
+        if rec.is_unmapped() {
+            continue;
+        }
+        let Some(&contig) = contig_index.get(&rec.rname) else {
+            continue;
+        };
+        let len = contig_lens[contig as usize];
+        let pos = (rec.pos.max(1) - 1) as usize; // SAM POS is 1-based
+        let read_span = rec
+            .cigar
+            .strip_suffix('M')
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(0);
+        let near_start = pos < cfg.end_window;
+        let near_end = pos + read_span + cfg.end_window >= len;
+        let near = near_start || near_end;
+        placements
+            .entry(pair_key(&rec.qname))
+            .or_default()
+            .push((contig, near));
+    }
+
+    // Count read pairs whose mates land near the ends of two different contigs.
+    let mut link_counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for (_key, places) in placements {
+        let ends: HashSet<u32> = places
+            .iter()
+            .filter(|(_, near)| *near)
+            .map(|(c, _)| *c)
+            .collect();
+        let ends: Vec<u32> = {
+            let mut v: Vec<u32> = ends.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        for i in 0..ends.len() {
+            for j in i + 1..ends.len() {
+                *link_counts.entry((ends[i], ends[j])).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut pairs: Vec<(u32, u32)> = link_counts
+        .into_iter()
+        .filter(|&(_, n)| n >= cfg.min_pairs)
+        .map(|(p, _)| p)
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sam(qname: &str, rname: &str, pos: u64, span: usize) -> SamRecord {
+        SamRecord {
+            qname: qname.into(),
+            flag: 0,
+            rname: rname.into(),
+            pos,
+            mapq: 255,
+            cigar: format!("{span}M"),
+            nm: 0,
+        }
+    }
+
+    fn index() -> (HashMap<String, u32>, Vec<usize>) {
+        let mut m = HashMap::new();
+        m.insert("cA".to_string(), 0);
+        m.insert("cB".to_string(), 1);
+        (m, vec![1000, 1000])
+    }
+
+    fn cfg() -> ScaffoldConfig {
+        ScaffoldConfig {
+            end_window: 100,
+            min_pairs: 2,
+        }
+    }
+
+    #[test]
+    fn links_contigs_with_enough_pairs() {
+        let (idx, lens) = index();
+        let mut records = Vec::new();
+        // Two read pairs spanning cA's tail and cB's head.
+        for p in 0..2 {
+            records.push(sam(&format!("p{p}/1"), "cA", 950, 36));
+            records.push(sam(&format!("p{p}/2"), "cB", 10, 36));
+        }
+        let pairs = scaffold_pairs(&records, &idx, &lens, cfg());
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn below_min_pairs_no_link() {
+        let (idx, lens) = index();
+        let records = vec![sam("p0/1", "cA", 950, 36), sam("p0/2", "cB", 10, 36)];
+        assert!(scaffold_pairs(&records, &idx, &lens, cfg()).is_empty());
+    }
+
+    #[test]
+    fn mid_contig_alignments_do_not_link() {
+        let (idx, lens) = index();
+        let mut records = Vec::new();
+        for p in 0..3 {
+            records.push(sam(&format!("p{p}/1"), "cA", 500, 36)); // middle
+            records.push(sam(&format!("p{p}/2"), "cB", 10, 36));
+        }
+        assert!(scaffold_pairs(&records, &idx, &lens, cfg()).is_empty());
+    }
+
+    #[test]
+    fn same_contig_pairs_do_not_link() {
+        let (idx, lens) = index();
+        let mut records = Vec::new();
+        for p in 0..3 {
+            records.push(sam(&format!("p{p}/1"), "cA", 10, 36));
+            records.push(sam(&format!("p{p}/2"), "cA", 950, 36));
+        }
+        assert!(scaffold_pairs(&records, &idx, &lens, cfg()).is_empty());
+    }
+
+    #[test]
+    fn unmapped_and_unknown_contigs_ignored() {
+        let (idx, lens) = index();
+        let mut records = vec![SamRecord::unmapped("p0/1"), sam("p0/2", "cZ", 10, 36)];
+        for p in 1..3 {
+            records.push(sam(&format!("p{p}/1"), "cA", 960, 36));
+            records.push(sam(&format!("p{p}/2"), "cB", 5, 36));
+        }
+        let pairs = scaffold_pairs(&records, &idx, &lens, cfg());
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pair_key_strips_suffixes() {
+        assert_eq!(pair_key("r1/1"), "r1");
+        assert_eq!(pair_key("r1/2"), "r1");
+        assert_eq!(pair_key("r1/s"), "r1");
+        assert_eq!(pair_key("r1"), "r1");
+    }
+}

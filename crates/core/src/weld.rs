@@ -1,0 +1,458 @@
+//! GraphFromFasta loop 1: harvesting "welding" subsequences.
+//!
+//! Inchworm contigs are k-mer-disjoint by construction (the greedy
+//! assembler consumes each canonical k-mer once), so related contigs meet
+//! only at de Bruijn *branch points*, where they share a (k−1)-mer. Loop 1
+//! seeds on those shared (k−1)-mers: for every occurrence pair
+//! `(contig A, pos) / (contig B, pos)` of a shared seed it builds the
+//! **weldmer** — `k/2` bases of A-side left flank, the seed, and `k/2`
+//! bases of B-side right flank (the paper's "seed k-mer and left- and
+//! right-flanking k/2-mers", total ≈ 2k) — and keeps it if *read support
+//! exists*: every k-mer of the mixed window must occur in the read k-mer
+//! table with sufficient count, i.e. real reads span the junction.
+
+use std::collections::{HashMap, HashSet};
+
+use kcount::counter::KmerCounts;
+use seqio::alphabet::revcomp;
+use seqio::fasta::Record;
+use seqio::kmer::{CanonicalKmers, Kmer, KmerIter};
+
+use crate::config::ChrysalisConfig;
+
+/// Canonical form of a weld window: the lexicographically smaller of the
+/// window and its reverse complement, so both strands harvest identically.
+pub fn canonical_weld(window: &[u8]) -> Vec<u8> {
+    let rc = revcomp(window);
+    if rc.as_slice() < window {
+        rc
+    } else {
+        window.to_vec()
+    }
+}
+
+/// One occurrence of a seed within a contig.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedOcc {
+    /// Contig index.
+    pub contig: u32,
+    /// 0-based offset of the (k−1)-mer within the contig (forward strand).
+    pub pos: u32,
+    /// True if the canonical form equals the forward window at `pos`.
+    pub forward: bool,
+}
+
+/// Global map from canonical (k−1)-mer to its occurrences across contigs.
+/// Replicated read-only on every rank in the paper's code; built once and
+/// shared here (see the crate-level simulation notes). The build cost is
+/// accounted as an OpenMP-parallel region (sharded hashing, like the k-mer
+/// counter), matching the paper's attribution of "non-parallel regions" to
+/// the weld-set setup and final output only.
+#[derive(Debug, Clone)]
+pub struct KmerContigMap {
+    seed_len: usize,
+    map: HashMap<u64, Vec<SeedOcc>>,
+}
+
+impl KmerContigMap {
+    /// Build over a contig set with seeds of length `k - 1`.
+    pub fn build(contigs: &[Record], k: usize) -> Self {
+        Self::build_with_offset(contigs, k, 0)
+    }
+
+    /// Build over a slice of the contig set whose first record has global
+    /// index `offset` (the building block of the parallel build).
+    pub fn build_with_offset(contigs: &[Record], k: usize, offset: usize) -> Self {
+        assert!(k >= 4, "seed construction needs k >= 4");
+        let seed_len = k - 1;
+        let mut map: HashMap<u64, Vec<SeedOcc>> = HashMap::new();
+        for (i, c) in contigs.iter().enumerate() {
+            let Ok(iter) = KmerIter::new(&c.seq, seed_len) else {
+                continue;
+            };
+            for (pos, km) in iter {
+                let canon = km.canonical();
+                map.entry(canon.packed()).or_default().push(SeedOcc {
+                    contig: (offset + i) as u32,
+                    pos: pos as u32,
+                    forward: canon == km,
+                });
+            }
+        }
+        KmerContigMap { seed_len, map }
+    }
+
+    /// Merge another partial map into this one (occurrence lists keep
+    /// ascending contig order when partials are merged in batch order).
+    pub fn merge(&mut self, other: KmerContigMap) {
+        debug_assert_eq!(self.seed_len, other.seed_len);
+        if self.map.is_empty() {
+            self.map = other.map;
+            return;
+        }
+        for (k, mut v) in other.map {
+            self.map.entry(k).or_default().append(&mut v);
+        }
+    }
+
+    /// Seed length (k − 1).
+    pub fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    /// Occurrences of a canonical seed (empty slice if none).
+    pub fn occurrences(&self, canon: Kmer) -> &[SeedOcc] {
+        self.map
+            .get(&canon.packed())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct seeds.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no seeds were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Read-support oracle over the Jellyfish k-mer table: a weld is supported
+/// when every k-mer of the window occurs in the reads with count ≥ `min`
+/// — i.e. reads actually span the junction the weld proposes.
+#[derive(Debug, Clone, Copy)]
+pub struct WeldSupport<'a> {
+    counts: &'a KmerCounts,
+    k: usize,
+    min: u32,
+}
+
+impl<'a> WeldSupport<'a> {
+    /// Wrap a (canonical) read k-mer table.
+    pub fn new(counts: &'a KmerCounts, min: u32) -> Self {
+        WeldSupport {
+            k: counts.k(),
+            counts,
+            min: min.max(1),
+        }
+    }
+
+    /// True if every k-mer of `window` reaches the support threshold.
+    pub fn supports(&self, window: &[u8]) -> bool {
+        if window.len() < self.k {
+            return false;
+        }
+        let Ok(iter) = CanonicalKmers::new(window, self.k) else {
+            return false;
+        };
+        let mut any = false;
+        for (_, km) in iter {
+            if self.counts.get(km) < self.min {
+                return false;
+            }
+            any = true;
+        }
+        any
+    }
+}
+
+/// Extract the sub-slice `[pos-left, pos+len+right)` of `seq`, or `None`
+/// if it would leave the contig.
+fn window_around(seq: &[u8], pos: usize, len: usize, left: usize, right: usize) -> Option<&[u8]> {
+    if pos < left || pos + len + right > seq.len() {
+        return None;
+    }
+    Some(&seq[pos - left..pos + len + right])
+}
+
+/// Orient the region around one seed occurrence so the seed reads in its
+/// canonical direction; returns (left flank, right flank) as owned bytes.
+fn oriented_flanks(
+    seq: &[u8],
+    occ: SeedOcc,
+    seed_len: usize,
+    flank: usize,
+) -> Option<(Vec<u8>, Vec<u8>)> {
+    let pos = occ.pos as usize;
+    let w = window_around(seq, pos, seed_len, flank, flank)?;
+    if occ.forward {
+        Some((w[..flank].to_vec(), w[flank + seed_len..].to_vec()))
+    } else {
+        // Reverse-complement the whole window; flanks swap sides.
+        let rc = revcomp(w);
+        Some((rc[..flank].to_vec(), rc[flank + seed_len..].to_vec()))
+    }
+}
+
+/// Cap on seed occurrences considered per candidate list: highly repetitive
+/// seeds (low-complexity sequence) would otherwise explode quadratically —
+/// the original GraphFromFasta applies the same kind of cap.
+const MAX_OCCS_PER_SEED: usize = 16;
+
+/// Harvest weld candidates from one contig (one loop-1 iteration).
+///
+/// For every seed the contig shares with another contig, build the mixed
+/// weldmer (this contig's left flank + seed + other contig's right flank,
+/// in the seed's canonical orientation) and keep it when the reads support
+/// it. Returns canonical weld sequences, deduplicated within the contig.
+pub fn harvest_contig(
+    contig_idx: u32,
+    contigs: &[Record],
+    kmap: &KmerContigMap,
+    support: &WeldSupport<'_>,
+    cfg: &ChrysalisConfig,
+) -> Vec<Vec<u8>> {
+    let seq = &contigs[contig_idx as usize].seq;
+    let seed_len = kmap.seed_len();
+    let flank = cfg.flank();
+    let mut out = Vec::new();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+
+    let Ok(iter) = KmerIter::new(seq, seed_len) else {
+        return out;
+    };
+    for (pos, km) in iter {
+        let canon = km.canonical();
+        let occs = kmap.occurrences(canon);
+        if occs.len() < 2 || occs.len() > MAX_OCCS_PER_SEED {
+            continue;
+        }
+        // Our own occurrence at this exact position.
+        let me = SeedOcc {
+            contig: contig_idx,
+            pos: pos as u32,
+            forward: canon == km,
+        };
+        let Some((my_left, my_right)) = oriented_flanks(seq, me, seed_len, flank) else {
+            continue;
+        };
+        let seed_bases = canon.bases();
+        for &other in occs {
+            if other.contig == contig_idx {
+                continue;
+            }
+            let other_seq = &contigs[other.contig as usize].seq;
+            let Some((other_left, other_right)) =
+                oriented_flanks(other_seq, other, seed_len, flank)
+            else {
+                continue;
+            };
+            // Two mixed weldmers per pair: A-left + seed + B-right and
+            // B-left + seed + A-right.
+            for (left, right) in [(&my_left, &other_right), (&other_left, &my_right)] {
+                let mut w = Vec::with_capacity(2 * flank + seed_len);
+                w.extend_from_slice(left);
+                w.extend_from_slice(&seed_bases);
+                w.extend_from_slice(right);
+                let weld = canonical_weld(&w);
+                if !seen.contains(&weld) && support.supports(&weld) {
+                    seen.insert(weld.clone());
+                    out.push(weld);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcount::counter::{count_kmers, CounterConfig};
+
+    fn rec(id: &str, seq: &[u8]) -> Record {
+        Record::new(id, seq.to_vec())
+    }
+
+    const K: usize = 8;
+
+    /// A junction fixture: contigs A and B share the (k-1)-mer `SEED`
+    /// embedded in otherwise distinct sequence; a junction read spans
+    /// A-left + seed + B-right.
+    const SEED: &[u8] = b"GGATACT"; // 7 = k-1
+    const A_LEFT: &[u8] = b"CGAGTCGGTTAT";
+    const A_RIGHT: &[u8] = b"CTTCGGCAAGTC";
+    const B_LEFT: &[u8] = b"AAAGCGGCACTT";
+    const B_RIGHT: &[u8] = b"GTGAAGTGTTCC";
+
+    fn contig_a() -> Vec<u8> {
+        [A_LEFT, SEED, A_RIGHT].concat()
+    }
+
+    fn contig_b() -> Vec<u8> {
+        [B_LEFT, SEED, B_RIGHT].concat()
+    }
+
+    /// The junction weldmer loop 1 should harvest (A-left flank + seed +
+    /// B-right flank with flank = k/2 = 4).
+    fn junction_window() -> Vec<u8> {
+        let flank = K / 2;
+        [&A_LEFT[A_LEFT.len() - flank..], SEED, &B_RIGHT[..flank]].concat()
+    }
+
+    fn support_counts(reads: &[Vec<u8>]) -> KmerCounts {
+        count_kmers(reads, CounterConfig::new(K))
+    }
+
+    fn cfg() -> ChrysalisConfig {
+        ChrysalisConfig::small(K)
+    }
+
+    #[test]
+    fn kmap_indexes_shared_seed() {
+        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let kmap = KmerContigMap::build(&contigs, K);
+        assert_eq!(kmap.seed_len(), K - 1);
+        let seed = Kmer::from_bases(SEED).unwrap().canonical();
+        let occs = kmap.occurrences(seed);
+        assert_eq!(occs.len(), 2);
+        assert_ne!(occs[0].contig, occs[1].contig);
+    }
+
+    #[test]
+    fn support_requires_all_kmers() {
+        let window = junction_window();
+        let counts = support_counts(&[window.clone()]);
+        let sup = WeldSupport::new(&counts, 1);
+        assert!(sup.supports(&window));
+        assert!(sup.supports(&revcomp(&window)), "strand-agnostic");
+        assert!(!sup.supports(b"TTTTTTTTTTTTTTTT"));
+        assert!(!sup.supports(b"ACG"), "shorter than k");
+    }
+
+    #[test]
+    fn support_threshold() {
+        let window = junction_window();
+        let counts = support_counts(&[window.clone()]);
+        assert!(WeldSupport::new(&counts, 1).supports(&window));
+        assert!(!WeldSupport::new(&counts, 2).supports(&window));
+        let counts2 = support_counts(&[window.clone(), window.clone()]);
+        assert!(WeldSupport::new(&counts2, 2).supports(&window));
+    }
+
+    #[test]
+    fn harvest_finds_supported_junction() {
+        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let kmap = KmerContigMap::build(&contigs, K);
+        let counts = support_counts(&[junction_window()]);
+        let sup = WeldSupport::new(&counts, 1);
+        let welds = harvest_contig(0, &contigs, &kmap, &sup, &cfg());
+        assert!(
+            welds.contains(&canonical_weld(&junction_window())),
+            "junction weld harvested: {:?}",
+            welds.iter().map(|w| String::from_utf8_lossy(w).to_string()).collect::<Vec<_>>()
+        );
+        // Contig B harvests the same weld from its side.
+        let welds_b = harvest_contig(1, &contigs, &kmap, &sup, &cfg());
+        assert!(welds_b.contains(&canonical_weld(&junction_window())));
+    }
+
+    #[test]
+    fn harvest_empty_without_read_support() {
+        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let kmap = KmerContigMap::build(&contigs, K);
+        let empty = support_counts(&[]);
+        let sup = WeldSupport::new(&empty, 1);
+        assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn harvest_empty_without_shared_seed() {
+        let contigs = vec![
+            rec("a", b"CGAGTCGGTTATCTTCGGCAAGTCAGGT"),
+            rec("b", b"AAAGCGGCACTTGTGAAGTGTTCCCCAC"),
+        ];
+        let kmap = KmerContigMap::build(&contigs, K);
+        let counts = support_counts(&[contigs[0].seq.clone()]);
+        let sup = WeldSupport::new(&counts, 1);
+        assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn revcomp_contig_harvests_same_weld() {
+        // Contig B given as its reverse complement: canonical seed
+        // orientation makes the harvested weld identical.
+        let contigs_fwd = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let contigs_rc = vec![rec("a", &contig_a()), rec("b", &revcomp(&contig_b()))];
+        let counts = support_counts(&[junction_window()]);
+        let sup = WeldSupport::new(&counts, 1);
+        let w_fwd: HashSet<Vec<u8>> = harvest_contig(
+            0,
+            &contigs_fwd,
+            &KmerContigMap::build(&contigs_fwd, K),
+            &sup,
+            &cfg(),
+        )
+        .into_iter()
+        .collect();
+        let w_rc: HashSet<Vec<u8>> = harvest_contig(
+            0,
+            &contigs_rc,
+            &KmerContigMap::build(&contigs_rc, K),
+            &sup,
+            &cfg(),
+        )
+        .into_iter()
+        .collect();
+        assert!(!w_fwd.is_empty());
+        assert_eq!(w_fwd, w_rc);
+    }
+
+    #[test]
+    fn repetitive_seed_capped() {
+        // A seed occurring in > MAX_OCCS_PER_SEED contigs is skipped: no
+        // harvested weld may contain it. (Flanks are pseudo-random, so
+        // *other* accidental low-occurrence seeds may still weld — that is
+        // fine and ignored here.)
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b"ACGT"[(state >> 33) as usize % 4]
+        };
+        let mut contigs: Vec<Record> = Vec::new();
+        for i in 0..(MAX_OCCS_PER_SEED + 4) {
+            let mut s: Vec<u8> = (0..12).map(|_| next()).collect();
+            s.extend_from_slice(SEED);
+            s.extend((0..12).map(|_| next()));
+            contigs.push(rec(&format!("c{i}"), &s));
+        }
+        let kmap = KmerContigMap::build(&contigs, K);
+        let seed = Kmer::from_bases(SEED).unwrap().canonical();
+        assert!(kmap.occurrences(seed).len() > MAX_OCCS_PER_SEED);
+        let counts = support_counts(&contigs.iter().map(|c| c.seq.clone()).collect::<Vec<_>>());
+        let sup = WeldSupport::new(&counts, 1);
+        for i in 0..contigs.len() as u32 {
+            for weld in harvest_contig(i, &contigs, &kmap, &sup, &cfg()) {
+                // The weld's central region is its seed; the capped seed
+                // must never be the one a weld was built on. (SEED may
+                // still appear off-centre inside welds seeded on adjacent
+                // uncapped seeds — legitimate.)
+                let flank = cfg().flank();
+                let centre = &weld[flank..flank + SEED.len()];
+                let rc = revcomp(&weld);
+                let centre_rc = &rc[flank..flank + SEED.len()];
+                assert!(
+                    centre != SEED && centre_rc != SEED,
+                    "capped seed used as a weld seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_contig_harvests_nothing() {
+        let contigs = vec![rec("s", b"ACGTACG"), rec("t", b"ACGTACG")];
+        let kmap = KmerContigMap::build(&contigs, K);
+        let counts = support_counts(&[b"ACGTACG".to_vec()]);
+        let sup = WeldSupport::new(&counts, 1);
+        assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn canonical_weld_is_strand_stable() {
+        let w = junction_window();
+        assert_eq!(canonical_weld(&w), canonical_weld(&revcomp(&w)));
+    }
+}

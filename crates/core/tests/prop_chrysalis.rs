@@ -1,0 +1,133 @@
+//! Property-based tests for the Chrysalis core: partition-invariance of
+//! the hybrid drivers over randomized workloads.
+
+use std::sync::Arc;
+
+use chrysalis::config::ChrysalisConfig;
+use chrysalis::graph_from_fasta::{cluster, gff_hybrid, gff_shared_memory, GffShared};
+use chrysalis::pairs::pairs_from_matches;
+use chrysalis::reads_to_transcripts::{rtt_hybrid, rtt_shared_memory, RttShared};
+use kcount::counter::{count_kmers, CounterConfig};
+use mpisim::{run_cluster, NetModel};
+use proptest::prelude::*;
+use seqio::fasta::Record;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any random contig/read set and any rank count, the hybrid
+    /// GraphFromFasta produces exactly the serial pairs and components.
+    #[test]
+    fn gff_is_partition_invariant(
+        seqs in proptest::collection::vec(dna(20..60), 2..8),
+        ranks in 1usize..6,
+        chunk in 1usize..4,
+    ) {
+        let contigs: Vec<Record> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(format!("c{i}"), s.clone()))
+            .collect();
+        // Reads = windows of the contigs, so welds can find support.
+        let reads: Vec<Vec<u8>> = seqs
+            .iter()
+            .flat_map(|s| s.windows(16.min(s.len())).step_by(4).map(|w| w.to_vec()))
+            .collect();
+        let counts = count_kmers(&reads, CounterConfig::new(8));
+        let mut cfg = ChrysalisConfig::small(8);
+        cfg.chunk = Some(chunk);
+        let shared = Arc::new(GffShared::prepare(contigs, counts, cfg));
+        let serial = gff_shared_memory(&shared);
+        let sh = Arc::clone(&shared);
+        let outs = run_cluster(ranks, NetModel::ideal(), move |comm| gff_hybrid(comm, &sh));
+        for o in &outs {
+            prop_assert_eq!(&o.value.pairs, &serial.pairs);
+            prop_assert_eq!(&o.value.component_of, &serial.component_of);
+        }
+    }
+
+    /// For any read set and rank count, hybrid ReadsToTranscripts matches
+    /// the serial assignment exactly.
+    #[test]
+    fn rtt_is_partition_invariant(
+        contig_seqs in proptest::collection::vec(dna(30..60), 1..4),
+        read_windows in proptest::collection::vec((0usize..3, 0usize..20), 4..24),
+        ranks in 1usize..6,
+        chunk_size in 1usize..7,
+    ) {
+        let contigs: Vec<Record> = contig_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(format!("c{i}"), s.clone()))
+            .collect();
+        let reads: Vec<Record> = read_windows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(c, off))| {
+                let src = &contig_seqs[c % contig_seqs.len()];
+                let off = off % src.len().saturating_sub(12).max(1);
+                let end = (off + 12).min(src.len());
+                (end > off).then(|| Record::new(format!("r{i}"), src[off..end].to_vec()))
+            })
+            .collect();
+        let components: Vec<Vec<usize>> = (0..contigs.len()).map(|i| vec![i]).collect();
+        let mut cfg = ChrysalisConfig::small(8);
+        cfg.max_mem_reads = chunk_size;
+        let shared = Arc::new(RttShared::prepare(reads, &contigs, &components, cfg));
+        let serial = rtt_shared_memory(&shared);
+        let sh = Arc::clone(&shared);
+        let outs = run_cluster(ranks, NetModel::ideal(), move |comm| rtt_hybrid(comm, &sh));
+        for o in &outs {
+            prop_assert_eq!(&o.value.assignments, &serial.assignments);
+        }
+    }
+
+    /// Clustering invariants: components partition the contig set and
+    /// every pair's endpoints land in the same component.
+    #[test]
+    fn clustering_is_a_partition(
+        n in 1usize..40,
+        raw_pairs in proptest::collection::vec((0u32..40, 0u32..40), 0..60),
+    ) {
+        let pairs: Vec<(u32, u32)> = raw_pairs
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let (comp_of, comps) = cluster(n, &pairs);
+        prop_assert_eq!(comp_of.len(), n);
+        prop_assert_eq!(comps.iter().map(Vec::len).sum::<usize>(), n);
+        for &(a, b) in &pairs {
+            prop_assert_eq!(comp_of[a as usize], comp_of[b as usize]);
+        }
+        // Dense ids.
+        for (c, members) in comps.iter().enumerate() {
+            for &m in members {
+                prop_assert_eq!(comp_of[m], c);
+            }
+        }
+    }
+
+    /// pairs_from_matches never invents contigs and never emits self-pairs.
+    #[test]
+    fn pairs_well_formed(matches in proptest::collection::vec((0u32..10, 0u32..20), 0..60)) {
+        let pairs = pairs_from_matches(&matches);
+        let contigs: std::collections::HashSet<u32> =
+            matches.iter().map(|&(_, c)| c).collect();
+        for &(a, b) in &pairs {
+            prop_assert!(a < b);
+            prop_assert!(contigs.contains(&a) && contigs.contains(&b));
+        }
+        // Sorted and deduplicated.
+        for w in pairs.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

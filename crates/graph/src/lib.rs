@@ -1,0 +1,14 @@
+//! Graph substrate for the Trinity reproduction.
+//!
+//! Two structures Chrysalis and Butterfly are built on:
+//!
+//! * [`unionfind`] — disjoint-set clustering, used by GraphFromFasta to turn
+//!   "weld" pairs of Inchworm contigs into connected components;
+//! * [`debruijn`] — the per-component de Bruijn graph Chrysalis emits
+//!   (`FastaToDebruijn`) and Butterfly traverses to enumerate isoforms.
+
+pub mod debruijn;
+pub mod unionfind;
+
+pub use debruijn::DeBruijnGraph;
+pub use unionfind::UnionFind;

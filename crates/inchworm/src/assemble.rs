@@ -1,0 +1,333 @@
+//! Greedy contig assembly (the Inchworm main loop).
+
+use std::collections::HashSet;
+
+use seqio::alphabet::code_to_base;
+use seqio::kmer::Kmer;
+
+use crate::contig::Contig;
+use crate::dictionary::Dictionary;
+
+/// Assembly parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct InchwormConfig {
+    /// Minimum k-mer abundance to seed a contig.
+    pub min_seed_count: u32,
+    /// Minimum abundance for an extension k-mer.
+    pub min_extend_count: u32,
+    /// Contigs shorter than this are discarded. Trinity's default is
+    /// roughly 2k (48 bases at k = 25).
+    pub min_contig_len: usize,
+    /// Optional tie-break jitter. Trinity's output is "slightly
+    /// indeterministic" (§IV): repeated runs differ where extension
+    /// candidates tie. `None` breaks ties deterministically (smallest
+    /// base); `Some(seed)` breaks them pseudo-randomly so repeated runs
+    /// reproduce that run-to-run distribution.
+    pub jitter_seed: Option<u64>,
+}
+
+impl Default for InchwormConfig {
+    fn default() -> Self {
+        InchwormConfig {
+            min_seed_count: 2,
+            min_extend_count: 1,
+            min_contig_len: 48,
+            jitter_seed: None,
+        }
+    }
+}
+
+/// A tiny splitmix64 step for tie-break jitter (no dependency on `rand` in
+/// this hot path; the sequence only has to be uncorrelated, not strong).
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Assembler<'d> {
+    dict: &'d Dictionary,
+    used: HashSet<u64>,
+    cfg: InchwormConfig,
+    rng: u64,
+}
+
+impl<'d> Assembler<'d> {
+    fn is_used(&self, km: Kmer) -> bool {
+        self.used.contains(&km.canonical().packed())
+    }
+
+    fn mark_used(&mut self, km: Kmer) {
+        self.used.insert(km.canonical().packed());
+    }
+
+    /// Pick the best extension among up to 4 candidates:
+    /// highest count wins; ties go to the smallest base code, or are
+    /// shuffled when jitter is enabled.
+    fn best_candidate(&mut self, candidates: [(Kmer, u32); 4]) -> Option<(Kmer, u8)> {
+        let mut best: Option<(Kmer, u8, u32)> = None;
+        for (code, &(km, count)) in candidates.iter().enumerate() {
+            if count < self.cfg.min_extend_count.max(1) || self.is_used(km) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, _, bc)) => {
+                    if count != bc {
+                        count > bc
+                    } else if self.cfg.jitter_seed.is_some() {
+                        splitmix(&mut self.rng) & 1 == 1
+                    } else {
+                        false // keep the earlier (smaller) base
+                    }
+                }
+            };
+            if better {
+                best = Some((km, code as u8, count));
+            }
+        }
+        best.map(|(km, code, _)| (km, code))
+    }
+
+    /// Extend `seed` rightwards, appending bases to `seq`.
+    fn extend_right(&mut self, seed: Kmer, seq: &mut Vec<u8>, cov_acc: &mut (u64, usize)) {
+        let mut cur = seed;
+        loop {
+            let candidates = std::array::from_fn(|code| {
+                let next = cur.roll_right(code as u8);
+                (next, self.dict.count(next))
+            });
+            match self.best_candidate(candidates) {
+                Some((next, code)) => {
+                    seq.push(code_to_base(code));
+                    self.mark_used(next);
+                    cov_acc.0 += self.dict.count(next) as u64;
+                    cov_acc.1 += 1;
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Extend `seed` leftwards, prepending bases (collected reversed, then
+    /// fixed by the caller).
+    fn extend_left(&mut self, seed: Kmer, rev_prefix: &mut Vec<u8>, cov_acc: &mut (u64, usize)) {
+        let mut cur = seed;
+        loop {
+            let candidates = std::array::from_fn(|code| {
+                let prev = cur.roll_left(code as u8);
+                (prev, self.dict.count(prev))
+            });
+            match self.best_candidate(candidates) {
+                Some((prev, code)) => {
+                    rev_prefix.push(code_to_base(code));
+                    self.mark_used(prev);
+                    cov_acc.0 += self.dict.count(prev) as u64;
+                    cov_acc.1 += 1;
+                    cur = prev;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Run the Inchworm main loop over a dictionary.
+pub fn assemble(dict: &Dictionary, cfg: InchwormConfig) -> Vec<Contig> {
+    let mut asm = Assembler {
+        dict,
+        used: HashSet::with_capacity(dict.len()),
+        cfg,
+        rng: cfg.jitter_seed.unwrap_or(0),
+    };
+    let mut contigs = Vec::new();
+
+    for (seed, count) in dict.iter_by_abundance() {
+        if count < cfg.min_seed_count.max(1) || asm.is_used(seed) {
+            continue;
+        }
+        asm.mark_used(seed);
+        let mut cov = (count as u64, 1usize);
+
+        let mut body = seed.bases();
+        asm.extend_right(seed, &mut body, &mut cov);
+        let mut rev_prefix = Vec::new();
+        asm.extend_left(seed, &mut rev_prefix, &mut cov);
+        rev_prefix.reverse();
+
+        let mut seq = rev_prefix;
+        seq.extend_from_slice(&body);
+        if seq.len() >= cfg.min_contig_len {
+            contigs.push(Contig {
+                id: contigs.len(),
+                seq,
+                coverage: cov.0 as f64 / cov.1 as f64,
+            });
+        }
+    }
+    contigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcount::counter::{count_kmers, CounterConfig};
+    use seqio::alphabet::revcomp;
+
+    fn assemble_reads(reads: &[&[u8]], k: usize, cfg: InchwormConfig) -> Vec<Contig> {
+        let table = count_kmers(reads, CounterConfig::new(k));
+        let dict = Dictionary::from_counts(table, 1);
+        assemble(&dict, cfg)
+    }
+
+    fn tiny_cfg() -> InchwormConfig {
+        InchwormConfig {
+            min_seed_count: 1,
+            min_extend_count: 1,
+            min_contig_len: 10,
+            jitter_seed: None,
+        }
+    }
+
+    /// Simulate perfect tiling reads over a transcript.
+    fn tile(transcript: &[u8], read_len: usize, step: usize) -> Vec<Vec<u8>> {
+        let mut reads = Vec::new();
+        let mut i = 0;
+        while i + read_len <= transcript.len() {
+            reads.push(transcript[i..i + read_len].to_vec());
+            i += step;
+        }
+        // Always cover the tail so every k-mer of the transcript exists.
+        if transcript.len() >= read_len {
+            reads.push(transcript[transcript.len() - read_len..].to_vec());
+        }
+        reads
+    }
+
+    #[test]
+    fn reconstructs_single_transcript() {
+        // A transcript with no repeated k-mers for k=8.
+        let transcript = b"CGAGTCGGTTATCTTCGGATACTGTATAGTCCCACCTGGT";
+        let reads = tile(transcript, 20, 3);
+        let read_refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let contigs = assemble_reads(&read_refs, 8, tiny_cfg());
+        assert_eq!(contigs.len(), 1);
+        let got = &contigs[0].seq;
+        assert!(
+            got == &transcript.to_vec() || got == &revcomp(transcript),
+            "reconstructed {:?}",
+            String::from_utf8_lossy(got)
+        );
+    }
+
+    #[test]
+    fn two_disjoint_transcripts_give_two_contigs() {
+        let t1 = b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG";
+        let t2 = b"TGTTCGCGTGGTGCTGAGACAAAGCACGCCAT";
+        let mut reads = tile(t1, 16, 2);
+        reads.extend(tile(t2, 16, 2));
+        let refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let contigs = assemble_reads(&refs, 8, tiny_cfg());
+        assert_eq!(contigs.len(), 2);
+        let mut lens: Vec<usize> = contigs.iter().map(|c| c.len()).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![t1.len(), t2.len()]);
+    }
+
+    #[test]
+    fn min_contig_len_discards_short() {
+        let contigs = assemble_reads(
+            &[b"ACGTACGTACG"],
+            8,
+            InchwormConfig {
+                min_contig_len: 100,
+                ..tiny_cfg()
+            },
+        );
+        assert!(contigs.is_empty());
+    }
+
+    #[test]
+    fn abundant_seed_assembled_first() {
+        let rare = b"TGTTCGCGTGGTGCTGAGACAAAGCACGCCAT";
+        let common = b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG";
+        let mut reads: Vec<Vec<u8>> = tile(common, 16, 2);
+        let extra = reads.clone();
+        reads.extend(extra); // double the common transcript's coverage
+        reads.extend(tile(rare, 16, 2));
+        let refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let contigs = assemble_reads(&refs, 8, tiny_cfg());
+        assert_eq!(contigs.len(), 2);
+        assert!(contigs[0].coverage > contigs[1].coverage);
+        assert_eq!(contigs[0].id, 0);
+    }
+
+    #[test]
+    fn kmers_consumed_once_no_duplicate_contigs() {
+        let transcript = b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG";
+        let reads = tile(transcript, 16, 1);
+        let refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let contigs = assemble_reads(&refs, 8, tiny_cfg());
+        assert_eq!(contigs.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let transcript = b"CCATACCAAGAGGTAGTAGTCTCAGAATCTTGCGGGTACAGACCCATC";
+        let reads = tile(transcript, 20, 2);
+        let refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let a = assemble_reads(&refs, 8, tiny_cfg());
+        let b = assemble_reads(&refs, 8, tiny_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_changes_tie_breaks_but_not_coverage_mass() {
+        // A branch point with equal counts: jitter may choose differently.
+        let reads: Vec<&[u8]> = vec![b"AAAACGTTTC", b"AAAACGTTTG"];
+        let base = assemble_reads(
+            &reads,
+            6,
+            InchwormConfig {
+                jitter_seed: None,
+                min_contig_len: 6,
+                ..tiny_cfg()
+            },
+        );
+        let jit = assemble_reads(
+            &reads,
+            6,
+            InchwormConfig {
+                jitter_seed: Some(7),
+                min_contig_len: 6,
+                ..tiny_cfg()
+            },
+        );
+        let mass = |cs: &[Contig]| cs.iter().map(|c| c.len()).sum::<usize>();
+        // Same total assembled mass even if tie-breaks differ.
+        assert_eq!(mass(&base), mass(&jit));
+    }
+
+    #[test]
+    fn empty_dictionary_yields_nothing() {
+        let contigs = assemble_reads(&[b"ACG"], 8, tiny_cfg());
+        assert!(contigs.is_empty());
+    }
+
+    #[test]
+    fn respects_min_seed_count() {
+        let contigs = assemble_reads(
+            &[b"CGAGTCGGTTATCTTCGGATAC"],
+            8,
+            InchwormConfig {
+                min_seed_count: 5, // nothing reaches count 5
+                ..tiny_cfg()
+            },
+        );
+        assert!(contigs.is_empty());
+    }
+}

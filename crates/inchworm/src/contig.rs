@@ -1,0 +1,55 @@
+//! The Inchworm contig record.
+
+use seqio::fasta::Record;
+
+/// One assembled Inchworm contig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contig {
+    /// Dense id in assembly order (most abundant seed first).
+    pub id: usize,
+    /// Contig bases.
+    pub seq: Vec<u8>,
+    /// Mean k-mer abundance along the contig (Inchworm's coverage proxy).
+    pub coverage: f64,
+}
+
+impl Contig {
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if empty (never produced by the assembler).
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Render as a FASTA record with Inchworm-style header metadata.
+    pub fn to_record(&self) -> Record {
+        Record {
+            id: format!("a{}", self.id),
+            desc: format!("len={} cov={:.2}", self.len(), self.coverage),
+            seq: self.seq.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_rendering() {
+        let c = Contig {
+            id: 3,
+            seq: b"ACGT".to_vec(),
+            coverage: 2.5,
+        };
+        let rec = c.to_record();
+        assert_eq!(rec.id, "a3");
+        assert!(rec.desc.contains("len=4"));
+        assert!(rec.desc.contains("cov=2.50"));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The abundance-sorted k-mer dictionary.
+//!
+//! "Inchworm constructs a hash table object consisting of pairs or duals …
+//! subsequently sorted in order of decreasing k-mer abundance" (§II-A).
+//! Keeping the whole table in memory is what gives Inchworm its large
+//! footprint; we reproduce the structure (the footprint scales the same
+//! way, just on smaller simulated datasets).
+
+use std::collections::HashMap;
+
+use kcount::counter::KmerCounts;
+use seqio::kmer::Kmer;
+
+/// Abundance-sorted dictionary over canonical k-mers.
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    k: usize,
+    /// Canonical k-mers in decreasing-count order (ties: k-mer order).
+    sorted: Vec<(Kmer, u32)>,
+    /// Canonical packed k-mer -> count, for O(1) extension lookups.
+    counts: HashMap<u64, u32>,
+}
+
+impl Dictionary {
+    /// Build from a (canonical) count table, dropping k-mers with count
+    /// below `min_count` — the error-k-mer filter.
+    pub fn from_counts(table: KmerCounts, min_count: u32) -> Self {
+        let k = table.k();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for (km, c) in table.iter() {
+            if c >= min_count {
+                // Canonicalize defensively: a non-canonical table still
+                // yields a strand-merged dictionary.
+                *counts.entry(km.canonical().packed()).or_insert(0) += c;
+            }
+        }
+        let mut sorted: Vec<(Kmer, u32)> = counts
+            .iter()
+            .map(|(&p, &c)| (Kmer::from_packed(p, k).expect("valid"), c))
+            .collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Dictionary { k, sorted, counts }
+    }
+
+    /// Word size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct (canonical) k-mers.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Count of `km` (any strand; canonicalized internally). 0 if absent.
+    pub fn count(&self, km: Kmer) -> u32 {
+        self.counts
+            .get(&km.canonical().packed())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterate k-mers in decreasing-abundance order.
+    pub fn iter_by_abundance(&self) -> impl Iterator<Item = (Kmer, u32)> + '_ {
+        self.sorted.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcount::counter::{count_kmers, CounterConfig};
+
+    fn dict_of(reads: &[&[u8]], k: usize, min: u32) -> Dictionary {
+        let table = count_kmers(reads, CounterConfig::new(k));
+        Dictionary::from_counts(table, min)
+    }
+
+    #[test]
+    fn sorted_decreasing() {
+        let d = dict_of(&[b"AAAAAAAACGTCGT"], 4, 1);
+        let v: Vec<u32> = d.iter_by_abundance().map(|(_, c)| c).collect();
+        for w in v.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let all = dict_of(&[b"AAAAAACGT"], 4, 1);
+        let filtered = dict_of(&[b"AAAAAACGT"], 4, 2);
+        assert!(filtered.len() < all.len());
+    }
+
+    #[test]
+    fn count_is_strand_agnostic() {
+        let d = dict_of(&[b"AAAA"], 4, 1);
+        assert_eq!(d.count(Kmer::from_bases(b"AAAA").unwrap()), 1);
+        assert_eq!(d.count(Kmer::from_bases(b"TTTT").unwrap()), 1);
+        assert_eq!(d.count(Kmer::from_bases(b"ACAC").unwrap()), 0);
+    }
+
+    #[test]
+    fn k_is_propagated() {
+        let d = dict_of(&[b"ACGTACGT"], 5, 1);
+        assert_eq!(d.k(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Inchworm substrate: greedy contig assembly from k-mer counts.
+//!
+//! Inchworm (§II-A of the paper) ingests the Jellyfish k-mer table and:
+//!
+//! 1. builds a dictionary of k-mers sorted by decreasing abundance
+//!    (removing likely error k-mers);
+//! 2. seeds a contig at the most abundant unused k-mer;
+//! 3. greedily extends the seed in both directions, at each step taking the
+//!    highest-abundance k-mer with a (k−1)-base overlap;
+//! 4. reports the linear contig, marks its k-mers used, and repeats until
+//!    the dictionary is exhausted.
+//!
+//! The output — a FASTA of "Inchworm contigs" — is what Chrysalis clusters.
+
+pub mod assemble;
+pub mod contig;
+pub mod dictionary;
+
+pub use assemble::{assemble, InchwormConfig};
+pub use contig::Contig;
+pub use dictionary::Dictionary;

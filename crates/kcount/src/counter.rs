@@ -1,0 +1,277 @@
+//! Sharded parallel k-mer counting.
+//!
+//! Jellyfish's core trick is a lock-free hash table sized to the k-mer
+//! spectrum; we reproduce the behaviour with a sharded table (one lock per
+//! shard, keys spread by a multiplicative hash) counted over reads in
+//! parallel. The result is an owned, queryable count table.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use seqio::kmer::{Kmer, KmerIter};
+
+/// Configuration for a counting pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterConfig {
+    /// Word size (1..=32). Trinity uses 25.
+    pub k: usize,
+    /// Count canonical k-mers (min of forward/revcomp)? Trinity's
+    /// double-stranded mode. Defaults to true.
+    pub canonical: bool,
+    /// Worker threads for the counting pass.
+    pub threads: usize,
+    /// Number of shards (power of two recommended).
+    pub shards: usize,
+}
+
+impl CounterConfig {
+    /// Sensible defaults for word size `k`.
+    pub fn new(k: usize) -> Self {
+        CounterConfig {
+            k,
+            canonical: true,
+            threads: 1,
+            shards: 64,
+        }
+    }
+}
+
+/// An owned k-mer count table.
+#[derive(Debug, Clone)]
+pub struct KmerCounts {
+    k: usize,
+    counts: HashMap<u64, u32>,
+}
+
+impl KmerCounts {
+    /// An empty table for word size `k`.
+    pub fn empty(k: usize) -> Self {
+        KmerCounts {
+            k,
+            counts: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn from_map(k: usize, counts: HashMap<u64, u32>) -> Self {
+        KmerCounts { k, counts }
+    }
+
+    /// Word size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no k-mers were counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Count of a k-mer (0 if absent). The query is *not* canonicalized;
+    /// canonicalize first if the table was built canonically.
+    pub fn get(&self, km: Kmer) -> u32 {
+        debug_assert_eq!(km.k(), self.k);
+        self.counts.get(&km.packed()).copied().unwrap_or(0)
+    }
+
+    /// Total k-mer instances counted (sum of counts).
+    pub fn total(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Iterate `(kmer, count)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Kmer, u32)> + '_ {
+        let k = self.k;
+        self.counts
+            .iter()
+            .map(move |(&p, &c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
+    }
+
+    /// Drain into a vector sorted by decreasing count (ties: k-mer order) —
+    /// the order Inchworm consumes the dictionary in.
+    pub fn into_sorted_by_abundance(self) -> Vec<(Kmer, u32)> {
+        let k = self.k;
+        let mut v: Vec<(Kmer, u32)> = self
+            .counts
+            .into_iter()
+            .map(|(p, c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Remove k-mers with count below `min`, returning how many were removed.
+    pub fn retain_min(&mut self, min: u32) -> usize {
+        let before = self.counts.len();
+        self.counts.retain(|_, c| *c >= min);
+        before - self.counts.len()
+    }
+
+    /// Insert or add a count directly (used by the dump loader).
+    pub fn add(&mut self, km: Kmer, count: u32) {
+        debug_assert_eq!(km.k(), self.k);
+        *self.counts.entry(km.packed()).or_insert(0) += count;
+    }
+}
+
+#[inline]
+fn shard_of(packed: u64, shards: usize) -> usize {
+    // Fibonacci hashing spreads consecutive k-mers across shards.
+    ((packed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % shards
+}
+
+/// Count all k-mers of `reads` per `cfg`. Runs the counting loop over the
+/// configured worker threads, one shard lock per hash slice.
+pub fn count_kmers<S: AsRef<[u8]> + Sync>(reads: &[S], cfg: CounterConfig) -> KmerCounts {
+    let shards = cfg.shards.max(1);
+    let tables: Vec<Mutex<HashMap<u64, u32>>> =
+        (0..shards).map(|_| Mutex::new(HashMap::new())).collect();
+
+    omp::parallel_map(reads, cfg.threads, |read| {
+        // Small thread-local staging buffer cuts lock traffic.
+        let mut local: HashMap<u64, u32> = HashMap::new();
+        let iter = match KmerIter::new(read.as_ref(), cfg.k) {
+            Ok(it) => it,
+            Err(_) => return,
+        };
+        for (_, km) in iter {
+            let km = if cfg.canonical { km.canonical() } else { km };
+            *local.entry(km.packed()).or_insert(0) += 1;
+        }
+        for (packed, c) in local {
+            let mut shard = tables[shard_of(packed, shards)].lock();
+            *shard.entry(packed).or_insert(0) += c;
+        }
+    });
+
+    let mut merged = HashMap::new();
+    for t in tables {
+        let m = t.into_inner();
+        if merged.is_empty() {
+            merged = m;
+        } else {
+            for (p, c) in m {
+                *merged.entry(p).or_insert(0) += c;
+            }
+        }
+    }
+    KmerCounts::from_map(cfg.k, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: usize, canonical: bool) -> CounterConfig {
+        CounterConfig {
+            k,
+            canonical,
+            threads: 2,
+            shards: 8,
+        }
+    }
+
+    #[test]
+    fn counts_simple_sequence() {
+        let counts = count_kmers(&[b"ACGTACGT".as_slice()], cfg(4, false));
+        // Windows: ACGT CGTA GTAC TACG ACGT -> ACGT twice.
+        assert_eq!(counts.get(Kmer::from_bases(b"ACGT").unwrap()), 2);
+        assert_eq!(counts.get(Kmer::from_bases(b"CGTA").unwrap()), 1);
+        assert_eq!(counts.get(Kmer::from_bases(b"AAAA").unwrap()), 0);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.len(), 4);
+    }
+
+    #[test]
+    fn canonical_merges_strands() {
+        // AAAA (revcomp TTTT): counting TTTT canonically increments AAAA.
+        let counts = count_kmers(&[b"TTTT".as_slice(), b"AAAA".as_slice()], cfg(4, true));
+        assert_eq!(counts.get(Kmer::from_bases(b"AAAA").unwrap()), 2);
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn multiple_reads_accumulate() {
+        let reads = vec![b"ACGT".to_vec(); 10];
+        let counts = count_kmers(&reads, cfg(4, false));
+        assert_eq!(counts.get(Kmer::from_bases(b"ACGT").unwrap()), 10);
+    }
+
+    #[test]
+    fn n_bases_skipped() {
+        let counts = count_kmers(&[b"ACGNNACG".as_slice()], cfg(3, false));
+        assert_eq!(counts.get(Kmer::from_bases(b"ACG").unwrap()), 2);
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let reads: Vec<Vec<u8>> = (0..200)
+            .map(|i| {
+                let mut s = b"ACGTACGTGGCCATAT".to_vec();
+                let n = s.len();
+                s.rotate_left(i % n);
+                s
+            })
+            .collect();
+        let serial = count_kmers(
+            &reads,
+            CounterConfig {
+                threads: 1,
+                ..cfg(6, true)
+            },
+        );
+        let parallel = count_kmers(
+            &reads,
+            CounterConfig {
+                threads: 8,
+                ..cfg(6, true)
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (km, c) in serial.iter() {
+            assert_eq!(parallel.get(km), c);
+        }
+    }
+
+    #[test]
+    fn sorted_by_abundance() {
+        let counts = count_kmers(&[b"AAAAACGT".as_slice()], cfg(4, false));
+        let sorted = counts.into_sorted_by_abundance();
+        for w in sorted.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(sorted[0].0.bases(), b"AAAA");
+    }
+
+    #[test]
+    fn retain_min_filters() {
+        let mut counts = count_kmers(&[b"AAAAAACGT".as_slice()], cfg(4, false));
+        let distinct_before = counts.len();
+        let removed = counts.retain_min(2);
+        assert!(removed > 0);
+        assert_eq!(counts.len(), distinct_before - removed);
+        assert!(counts.iter().all(|(_, c)| c >= 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let reads: Vec<Vec<u8>> = vec![];
+        let counts = count_kmers(&reads, cfg(5, true));
+        assert!(counts.is_empty());
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut counts = KmerCounts::empty(4);
+        let km = Kmer::from_bases(b"ACGT").unwrap();
+        counts.add(km, 3);
+        counts.add(km, 2);
+        assert_eq!(counts.get(km), 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! DSK-style disk-partitioned k-mer counting.
+//!
+//! The paper (§II-A) points at DSK [20] — "k-mer counting with very low
+//! memory usage" — as the alternative to Jellyfish's large in-memory
+//! table, and lists memory-footprint reduction as future work (§VI). This
+//! module implements the DSK idea: k-mers are hashed into `P` partition
+//! files on disk in a streaming pass, then each partition is counted
+//! independently, so peak memory is bounded by the largest partition
+//! (≈ `1/P` of the spectrum) instead of the whole table.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use seqio::error::{Error, Result};
+use seqio::kmer::{CanonicalKmers, KmerIter};
+
+use crate::counter::{CounterConfig, KmerCounts};
+
+/// Configuration of a disk-partitioned counting pass.
+#[derive(Debug, Clone)]
+pub struct DskConfig {
+    /// Base counting parameters (k, canonical).
+    pub counter: CounterConfig,
+    /// Number of disk partitions.
+    pub partitions: usize,
+    /// Directory for the temporary partition files.
+    pub work_dir: PathBuf,
+}
+
+impl DskConfig {
+    /// Defaults: 16 partitions in the system temp directory.
+    pub fn new(k: usize) -> Self {
+        DskConfig {
+            counter: CounterConfig::new(k),
+            partitions: 16,
+            work_dir: std::env::temp_dir(),
+        }
+    }
+}
+
+/// Outcome of a DSK pass: the (complete) counts plus the observed peak
+/// partition size, the quantity that bounds memory.
+#[derive(Debug)]
+pub struct DskOutcome {
+    /// The merged counts — identical to an in-memory pass.
+    pub counts: KmerCounts,
+    /// Distinct k-mers in the largest partition (the memory bound).
+    pub max_partition_distinct: usize,
+    /// Total k-mer instances written to disk (the I/O volume).
+    pub spilled_kmers: u64,
+}
+
+#[inline]
+fn partition_of(packed: u64, partitions: usize) -> usize {
+    ((packed.wrapping_mul(0xD6E8_FEB8_6659_FD93)) >> 33) as usize % partitions
+}
+
+/// Count k-mers with bounded memory via disk partitioning.
+///
+/// Pass 1 streams every read and appends each (canonical) packed k-mer to
+/// its partition file; pass 2 loads one partition at a time, counts it,
+/// and folds it into the result. The fold makes the *returned* table
+/// full-size (convenient for comparison); a production caller would
+/// consume partitions one at a time and never hold the union — the
+/// `max_partition_distinct` field reports the memory bound that caller
+/// would see.
+pub fn count_kmers_dsk<S: AsRef<[u8]>>(reads: &[S], cfg: &DskConfig) -> Result<DskOutcome> {
+    let partitions = cfg.partitions.max(1);
+    let k = cfg.counter.k;
+    std::fs::create_dir_all(&cfg.work_dir)?;
+    let unique = std::process::id() as u64 ^ (reads.len() as u64) << 20;
+    let paths: Vec<PathBuf> = (0..partitions)
+        .map(|p| cfg.work_dir.join(format!("dsk_{unique:x}_{p}.part")))
+        .collect();
+
+    // Pass 1: spill packed k-mers to their partitions.
+    let mut spilled = 0u64;
+    {
+        let mut writers: Vec<BufWriter<File>> = paths
+            .iter()
+            .map(|p| Ok(BufWriter::new(File::create(p)?)))
+            .collect::<Result<_>>()?;
+        for read in reads {
+            if cfg.counter.canonical {
+                spill(CanonicalKmers::new(read.as_ref(), k)?, &mut writers, partitions, &mut spilled)?;
+            } else {
+                spill(KmerIter::new(read.as_ref(), k)?, &mut writers, partitions, &mut spilled)?;
+            }
+        }
+        for w in &mut writers {
+            w.flush()?;
+        }
+    }
+
+    // Pass 2: count one partition at a time.
+    let mut merged = KmerCounts::empty(k);
+    let mut max_partition_distinct = 0usize;
+    for path in &paths {
+        let part = count_partition(path, k)?;
+        max_partition_distinct = max_partition_distinct.max(part.len());
+        for (km, c) in part.iter() {
+            merged.add(km, c);
+        }
+        std::fs::remove_file(path).ok();
+    }
+    Ok(DskOutcome {
+        counts: merged,
+        max_partition_distinct,
+        spilled_kmers: spilled,
+    })
+}
+
+fn spill<I: Iterator<Item = (usize, seqio::kmer::Kmer)>>(
+    iter: I,
+    writers: &mut [BufWriter<File>],
+    partitions: usize,
+    spilled: &mut u64,
+) -> Result<()> {
+    for (_, km) in iter {
+        let packed = km.packed();
+        writers[partition_of(packed, partitions)].write_all(&packed.to_le_bytes())?;
+        *spilled += 1;
+    }
+    Ok(())
+}
+
+fn count_partition(path: &Path, k: usize) -> Result<KmerCounts> {
+    let mut counts = KmerCounts::empty(k);
+    let mut r = BufReader::new(File::open(path)?);
+    let mut buf = [0u8; 8];
+    loop {
+        match r.read_exact(&mut buf) {
+            Ok(()) => {
+                let packed = u64::from_le_bytes(buf);
+                let km = seqio::kmer::Kmer::from_packed(packed, k)
+                    .map_err(|_| Error::Format("corrupt partition file".into()))?;
+                counts.add(km, 1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::count_kmers;
+
+    fn reads() -> Vec<Vec<u8>> {
+        (0..40)
+            .map(|i| {
+                let mut s = b"ACGTACGTGGCCATATTGCAGGCT".to_vec();
+                let n = s.len();
+                s.rotate_left(i % n);
+                s
+            })
+            .collect()
+    }
+
+    fn cfg(k: usize, partitions: usize) -> DskConfig {
+        DskConfig {
+            counter: CounterConfig::new(k),
+            partitions,
+            work_dir: std::env::temp_dir().join("dsk_test"),
+        }
+    }
+
+    #[test]
+    fn matches_in_memory_counting() {
+        let reads = reads();
+        let reference = count_kmers(&reads, CounterConfig::new(8));
+        let dsk = count_kmers_dsk(&reads, &cfg(8, 8)).unwrap();
+        assert_eq!(dsk.counts.len(), reference.len());
+        for (km, c) in reference.iter() {
+            assert_eq!(dsk.counts.get(km), c, "k-mer {km}");
+        }
+        assert_eq!(dsk.counts.total(), reference.total());
+    }
+
+    #[test]
+    fn partitions_bound_memory() {
+        let reads = reads();
+        let one = count_kmers_dsk(&reads, &cfg(8, 1)).unwrap();
+        let sixteen = count_kmers_dsk(&reads, &cfg(8, 16)).unwrap();
+        assert_eq!(one.max_partition_distinct, one.counts.len());
+        assert!(
+            sixteen.max_partition_distinct < one.max_partition_distinct,
+            "16 partitions must shrink the peak: {} vs {}",
+            sixteen.max_partition_distinct,
+            one.max_partition_distinct
+        );
+        // A fair hash keeps the largest partition within a few x of ideal.
+        let ideal = one.counts.len().div_ceil(16);
+        assert!(sixteen.max_partition_distinct <= ideal * 4);
+    }
+
+    #[test]
+    fn spill_volume_equals_total_instances() {
+        let reads = reads();
+        let dsk = count_kmers_dsk(&reads, &cfg(8, 4)).unwrap();
+        assert_eq!(dsk.spilled_kmers, dsk.counts.total());
+    }
+
+    #[test]
+    fn empty_input() {
+        let reads: Vec<Vec<u8>> = vec![];
+        let dsk = count_kmers_dsk(&reads, &cfg(8, 4)).unwrap();
+        assert!(dsk.counts.is_empty());
+        assert_eq!(dsk.max_partition_distinct, 0);
+    }
+
+    #[test]
+    fn non_canonical_mode() {
+        let reads = reads();
+        let mut c = cfg(6, 4);
+        c.counter.canonical = false;
+        let reference = count_kmers(
+            &reads,
+            CounterConfig {
+                canonical: false,
+                ..CounterConfig::new(6)
+            },
+        );
+        let dsk = count_kmers_dsk(&reads, &c).unwrap();
+        assert_eq!(dsk.counts.len(), reference.len());
+    }
+}

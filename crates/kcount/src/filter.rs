@@ -1,0 +1,75 @@
+//! Error-k-mer filtering and abundance histograms.
+//!
+//! Inchworm "constructs a k-mer dictionary from all sequence reads removing
+//! likely error-containing k-mers"; in practice that is a minimum-abundance
+//! cutoff applied to the Jellyfish output.
+
+use crate::counter::KmerCounts;
+
+/// Remove k-mers below `min_count`; returns the number removed.
+pub fn filter_min_count(counts: &mut KmerCounts, min_count: u32) -> usize {
+    counts.retain_min(min_count)
+}
+
+/// Histogram of abundances: `hist[c]` = number of distinct k-mers with
+/// count `c`, for `c` in `1..=max_bin` (counts above `max_bin` land in the
+/// last bin). Index 0 is always 0.
+pub fn abundance_histogram(counts: &KmerCounts, max_bin: usize) -> Vec<u64> {
+    let max_bin = max_bin.max(1);
+    let mut hist = vec![0u64; max_bin + 1];
+    for (_, c) in counts.iter() {
+        let bin = (c as usize).min(max_bin);
+        hist[bin] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{count_kmers, CounterConfig};
+    use seqio::kmer::Kmer;
+
+    fn sample() -> KmerCounts {
+        // AAAA x3 (from AAAAAA) plus singletons.
+        count_kmers(
+            &[b"AAAAAA".as_slice(), b"CCGTT".as_slice()],
+            CounterConfig {
+                canonical: false,
+                ..CounterConfig::new(4)
+            },
+        )
+    }
+
+    #[test]
+    fn filter_removes_singletons() {
+        let mut counts = sample();
+        let removed = filter_min_count(&mut counts, 2);
+        assert_eq!(removed, 2); // CCGT, CGTT
+        assert_eq!(counts.get(Kmer::from_bases(b"AAAA").unwrap()), 3);
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn filter_with_min_one_is_noop() {
+        let mut counts = sample();
+        assert_eq!(filter_min_count(&mut counts, 1), 0);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let counts = sample();
+        let hist = abundance_histogram(&counts, 5);
+        assert_eq!(hist[0], 0);
+        assert_eq!(hist[1], 2); // two singleton 4-mers
+        assert_eq!(hist[3], 1); // AAAA
+    }
+
+    #[test]
+    fn histogram_clamps_to_last_bin() {
+        let counts = sample();
+        let hist = abundance_histogram(&counts, 2);
+        assert_eq!(hist[2], 1); // AAAA's count 3 clamped into bin 2
+        assert_eq!(hist.len(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-rank virtual clocks.
+//!
+//! A [`VClock`] accumulates simulated seconds. Compute sections charge it
+//! with measured (or replayed) durations; communication primitives advance
+//! it to the synchronized completion time of the operation. Virtual time is
+//! completely decoupled from wall-clock time, which is what makes scaling
+//! experiments reproducible on any host.
+
+/// A monotone virtual clock, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VClock {
+    now: f64,
+}
+
+impl VClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VClock { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Charge `seconds` of work to this clock.
+    ///
+    /// Negative or non-finite charges are ignored (timers can produce 0.0;
+    /// they never legitimately produce negatives).
+    #[inline]
+    pub fn charge(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.now += seconds;
+        }
+    }
+
+    /// Advance to an absolute time, never moving backwards.
+    #[inline]
+    pub fn advance_to(&mut self, t: f64) {
+        if t.is_finite() && t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Reset to zero (used between pipeline phases that report separately).
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+/// A scoped wall-clock timer whose elapsed time is charged to a `VClock`
+/// when dropped. Used around *serial* regions that are measured directly.
+pub struct ChargeGuard<'a> {
+    clock: &'a mut VClock,
+    start: std::time::Instant,
+}
+
+impl<'a> ChargeGuard<'a> {
+    /// Start timing; charges on drop.
+    pub fn new(clock: &'a mut VClock) -> Self {
+        ChargeGuard {
+            clock,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for ChargeGuard<'_> {
+    fn drop(&mut self) {
+        self.clock.charge(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut c = VClock::new();
+        c.charge(1.5);
+        c.charge(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_bad_charges() {
+        let mut c = VClock::new();
+        c.charge(-1.0);
+        c.charge(f64::NAN);
+        c.charge(f64::INFINITY);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut c = VClock::new();
+        c.advance_to(5.0);
+        c.advance_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.advance_to(f64::NAN);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn reset() {
+        let mut c = VClock::new();
+        c.charge(2.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn guard_charges_on_drop() {
+        let mut c = VClock::new();
+        {
+            let _g = ChargeGuard::new(&mut c);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(c.now() > 0.0);
+    }
+}

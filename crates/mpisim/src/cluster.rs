@@ -1,0 +1,282 @@
+//! Cluster driver: spawn `P` ranks as threads and run a rank program.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::comm::{Comm, Message, Shared};
+use crate::netmodel::NetModel;
+use crate::stats::CommStats;
+
+/// What one rank produced: its return value, final virtual clock and
+/// communication counters.
+#[derive(Debug, Clone)]
+pub struct RankOutput<T> {
+    /// The rank id.
+    pub rank: usize,
+    /// The rank program's return value.
+    pub value: T,
+    /// Final virtual time of the rank, seconds.
+    pub time: f64,
+    /// Communication counters.
+    pub stats: CommStats,
+}
+
+/// Run `f` on `ranks` simulated MPI ranks and collect every rank's output,
+/// ordered by rank.
+///
+/// Each rank executes on its own OS thread with a private [`Comm`]. The
+/// closure receives the communicator and returns the rank's result. Panics
+/// in any rank abort the whole cluster (a panicking rank would deadlock
+/// peers blocked in collectives, so we propagate instead).
+pub fn run_cluster<T, F>(ranks: usize, net: NetModel, f: F) -> Vec<RankOutput<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(ranks > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(ranks);
+    let mut receivers = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = crossbeam::channel::unbounded::<Message>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let shared = Arc::new(Shared {
+        size: ranks,
+        barrier: std::sync::Barrier::new(ranks),
+        slots: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        times: (0..ranks).map(|_| Mutex::new(0.0)).collect(),
+        mail: senders,
+    });
+
+    let outputs: Vec<Mutex<Option<RankOutput<T>>>> =
+        (0..ranks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            let out_slot = &outputs[rank];
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(4 << 20)
+                    .spawn_scoped(scope, move || {
+                        let mut comm = Comm::new(rank, shared, inbox, net);
+                        let value = f(&mut comm);
+                        *out_slot.lock() = Some(RankOutput {
+                            rank,
+                            value,
+                            time: comm.clock.now(),
+                            stats: comm.stats,
+                        });
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        for h in handles {
+            if h.join().is_err() {
+                // A rank panicked; peers may be blocked in a collective.
+                // Abort loudly rather than deadlock.
+                panic!("a simulated rank panicked; aborting cluster run");
+            }
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("rank produced output"))
+        .collect()
+}
+
+/// Convenience: the maximum virtual time across ranks — the cluster's
+/// elapsed time for the run (what the paper plots).
+pub fn cluster_time<T>(outputs: &[RankOutput<T>]) -> f64 {
+    outputs.iter().map(|o| o.time).fold(0.0, f64::max)
+}
+
+/// Convenience: (min, max) rank times — the paper's load-imbalance bars.
+pub fn rank_time_spread<T>(outputs: &[RankOutput<T>]) -> (f64, f64) {
+    let min = outputs.iter().map(|o| o.time).fold(f64::INFINITY, f64::min);
+    let max = cluster_time(outputs);
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run_cluster(1, NetModel::ideal(), |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.rank() + 100
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 100);
+    }
+
+    #[test]
+    fn ranks_see_distinct_ids() {
+        let out = run_cluster(8, NetModel::ideal(), |comm| comm.rank());
+        let ids: Vec<usize> = out.iter().map(|o| o.value).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allgatherv_collects_everything() {
+        let out = run_cluster(4, NetModel::ideal(), |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let all = comm.allgatherv(&mine);
+            all
+        });
+        for o in &out {
+            assert_eq!(o.value.len(), 4);
+            for (r, part) in o.value.iter().enumerate() {
+                assert_eq!(part, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_are_safe() {
+        let out = run_cluster(3, NetModel::ideal(), |comm| {
+            let mut acc = 0u64;
+            for round in 0..10u64 {
+                acc += comm.allreduce_sum_u64(round + comm.rank() as u64);
+            }
+            acc
+        });
+        // Each round: sum over ranks of (round + rank) = 3*round + 3.
+        let expect: u64 = (0..10).map(|r| 3 * r + 3).sum();
+        for o in &out {
+            assert_eq!(o.value, expect);
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = run_cluster(4, NetModel::ideal(), |comm| {
+            let data = if comm.rank() == 2 { b"seed".to_vec() } else { vec![] };
+            comm.bcast(2, &data)
+        });
+        for o in &out {
+            assert_eq!(o.value, b"seed");
+        }
+    }
+
+    #[test]
+    fn gatherv_only_root_gets_data() {
+        let out = run_cluster(4, NetModel::ideal(), |comm| {
+            let mine = vec![comm.rank() as u8];
+            comm.gatherv(0, &mine)
+        });
+        assert!(out[0].value.is_some());
+        assert_eq!(out[0].value.as_ref().unwrap().len(), 4);
+        for o in &out[1..] {
+            assert!(o.value.is_none());
+        }
+    }
+
+    #[test]
+    fn p2p_ring() {
+        let out = run_cluster(5, NetModel::ideal(), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, vec![comm.rank() as u8]);
+            let got = comm.recv(prev, 7);
+            got[0] as usize
+        });
+        for o in &out {
+            assert_eq!(o.value, (o.rank + 4) % 5);
+        }
+    }
+
+    #[test]
+    fn p2p_tag_matching_out_of_order() {
+        let out = run_cluster(2, NetModel::ideal(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![b'a']);
+                comm.send(1, 2, vec![b'b']);
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                assert_eq!((a[0], b[0]), (b'a', b'b'));
+                1
+            }
+        });
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn virtual_time_synchronizes_at_barrier() {
+        let out = run_cluster(4, NetModel::ideal(), |comm| {
+            comm.charge(comm.rank() as f64); // rank r works r seconds
+            comm.barrier();
+            comm.clock.now()
+        });
+        for o in &out {
+            assert!((o.value - 3.0).abs() < 1e-12, "all ranks leave at max entry time");
+        }
+    }
+
+    #[test]
+    fn allgatherv_costs_scale_with_bytes() {
+        let big = run_cluster(4, NetModel::idataplex(), |comm| {
+            let data = vec![0u8; 1 << 20];
+            comm.allgatherv(&data);
+            comm.clock.now()
+        });
+        let small = run_cluster(4, NetModel::idataplex(), |comm| {
+            let data = vec![0u8; 16];
+            comm.allgatherv(&data);
+            comm.clock.now()
+        });
+        assert!(big[0].value > small[0].value);
+    }
+
+    #[test]
+    fn stats_are_counted() {
+        let out = run_cluster(2, NetModel::ideal(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1, 2, 3]);
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.barrier();
+            comm.allgatherv(&[9]);
+        });
+        assert_eq!(out[0].stats.p2p_sends, 1);
+        assert_eq!(out[1].stats.p2p_recvs, 1);
+        assert_eq!(out[1].stats.bytes_received, 3 + 1);
+        assert!(out[0].stats.collectives >= 2);
+    }
+
+    #[test]
+    fn spread_helpers() {
+        let out = run_cluster(3, NetModel::ideal(), |comm| {
+            comm.charge((comm.rank() + 1) as f64);
+            comm.rank()
+        });
+        let (min, max) = rank_time_spread(&out);
+        assert!((min - 1.0).abs() < 1e-12);
+        assert!((max - 3.0).abs() < 1e-12);
+        assert!((cluster_time(&out) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_ranks_smoke() {
+        let out = run_cluster(64, NetModel::idataplex(), |comm| {
+            let total = comm.allreduce_sum_u64(1);
+            comm.barrier();
+            total
+        });
+        assert!(out.iter().all(|o| o.value == 64));
+    }
+}

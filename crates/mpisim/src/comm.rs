@@ -1,0 +1,306 @@
+//! The per-rank communicator: point-to-point messages and collectives with
+//! MPI semantics, plus virtual-clock synchronization.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::clock::VClock;
+use crate::netmodel::NetModel;
+use crate::stats::CommStats;
+
+/// A point-to-point message in flight.
+#[derive(Debug)]
+pub(crate) struct Message {
+    pub from: usize,
+    pub tag: u32,
+    pub send_time: f64,
+    pub payload: Vec<u8>,
+}
+
+/// State shared by every rank of a cluster.
+pub(crate) struct Shared {
+    pub size: usize,
+    pub barrier: std::sync::Barrier,
+    /// One payload slot per rank, used by collectives.
+    pub slots: Vec<Mutex<Vec<u8>>>,
+    /// Virtual entry time of each rank into the current collective.
+    pub times: Vec<Mutex<f64>>,
+    /// Mailbox senders, indexed by destination rank.
+    pub mail: Vec<Sender<Message>>,
+}
+
+/// A rank's handle to the simulated communicator — the analogue of
+/// `MPI_COMM_WORLD` plus the rank's virtual clock and counters.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<Message>,
+    /// Out-of-order messages awaiting a matching `recv`.
+    pending: Vec<Message>,
+    /// This rank's virtual clock.
+    pub clock: VClock,
+    /// The interconnect model used for cost accounting.
+    pub net: NetModel,
+    /// Communication counters.
+    pub stats: CommStats,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>, inbox: Receiver<Message>, net: NetModel) -> Self {
+        Comm {
+            rank,
+            shared,
+            inbox,
+            pending: Vec::new(),
+            clock: VClock::new(),
+            net,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// True on rank 0 (the paper's "master node").
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Charge virtual compute seconds to this rank.
+    #[inline]
+    pub fn charge(&mut self, seconds: f64) {
+        self.clock.charge(seconds);
+    }
+
+    /// Run `f`, measure its wall-clock duration, charge it to the clock and
+    /// return the result. For serial regions that are measured directly.
+    ///
+    /// Takes the global [`crate::compute_lock`] so concurrent ranks do not
+    /// contend during the measurement; `f` must therefore never perform
+    /// communication (it would deadlock peers waiting for the lock).
+    pub fn charge_measured<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let guard = crate::compute_lock();
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.clock.charge(t0.elapsed().as_secs_f64());
+        drop(guard);
+        out
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Non-blocking-ish send (buffered, like `MPI_Send` with small messages).
+    pub fn send(&mut self, to: usize, tag: u32, payload: Vec<u8>) {
+        assert!(to < self.size(), "send to rank {to} out of range");
+        let bytes = payload.len();
+        let msg = Message {
+            from: self.rank,
+            tag,
+            send_time: self.clock.now(),
+            payload,
+        };
+        self.shared.mail[to]
+            .send(msg)
+            .expect("destination rank hung up");
+        self.stats.p2p_sends += 1;
+        self.stats.bytes_sent += bytes as u64;
+    }
+
+    /// Blocking receive matching `(from, tag)`. Advances the clock to
+    /// `max(own time, send time + α + β·bytes)`.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Vec<u8> {
+        // Check messages that arrived earlier but didn't match then.
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            let msg = self.pending.remove(i);
+            return self.complete_recv(msg);
+        }
+        loop {
+            let msg = self.inbox.recv().expect("all senders hung up");
+            if msg.from == from && msg.tag == tag {
+                return self.complete_recv(msg);
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    fn complete_recv(&mut self, msg: Message) -> Vec<u8> {
+        let cost = self.net.p2p(msg.payload.len());
+        self.clock.advance_to(msg.send_time + cost);
+        self.stats.p2p_recvs += 1;
+        self.stats.bytes_received += msg.payload.len() as u64;
+        msg.payload
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    /// Synchronize all ranks (`MPI_Barrier`): clocks advance to the latest
+    /// entry time plus the barrier's latency cost.
+    pub fn barrier(&mut self) {
+        let entry_max = self.exchange_times();
+        self.clock
+            .advance_to(entry_max + self.net.barrier(self.size()));
+        self.stats.collectives += 1;
+    }
+
+    /// `MPI_Allgatherv` over raw bytes: every rank contributes a buffer and
+    /// receives every rank's buffer, indexed by rank.
+    pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        *self.shared.slots[self.rank].lock() = data.to_vec();
+        *self.shared.times[self.rank].lock() = self.clock.now();
+        self.shared.barrier.wait();
+        let parts: Vec<Vec<u8>> = (0..self.size())
+            .map(|r| self.shared.slots[r].lock().clone())
+            .collect();
+        let entry_max = self.read_entry_max();
+        self.shared.barrier.wait(); // everyone done reading before reuse
+        let total: usize = parts.iter().map(Vec::len).sum();
+        self.clock
+            .advance_to(entry_max + self.net.allgatherv(self.size(), total));
+        self.stats.collectives += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.stats.bytes_received += (total - data.len()) as u64;
+        parts
+    }
+
+    /// `MPI_Bcast` from `root`: returns the root's buffer on every rank.
+    pub fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
+        assert!(root < self.size());
+        if self.rank == root {
+            *self.shared.slots[root].lock() = data.to_vec();
+        }
+        *self.shared.times[self.rank].lock() = self.clock.now();
+        self.shared.barrier.wait();
+        let out = self.shared.slots[root].lock().clone();
+        let entry_max = self.read_entry_max();
+        self.shared.barrier.wait();
+        self.clock
+            .advance_to(entry_max + self.net.tree_move(self.size(), out.len()));
+        self.stats.collectives += 1;
+        if self.rank == root {
+            self.stats.bytes_sent += out.len() as u64;
+        } else {
+            self.stats.bytes_received += out.len() as u64;
+        }
+        out
+    }
+
+    /// `MPI_Gatherv` to `root`: root receives every rank's buffer (indexed
+    /// by rank); other ranks receive `None`.
+    pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        assert!(root < self.size());
+        *self.shared.slots[self.rank].lock() = data.to_vec();
+        *self.shared.times[self.rank].lock() = self.clock.now();
+        self.shared.barrier.wait();
+        let out = if self.rank == root {
+            Some(
+                (0..self.size())
+                    .map(|r| self.shared.slots[r].lock().clone())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
+        let entry_max = self.read_entry_max();
+        self.shared.barrier.wait();
+        let total: usize = out
+            .as_ref()
+            .map(|parts| parts.iter().map(Vec::len).sum())
+            .unwrap_or(data.len());
+        self.clock
+            .advance_to(entry_max + self.net.tree_move(self.size(), total));
+        self.stats.collectives += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        if let Some(parts) = &out {
+            let others: usize = parts.iter().map(Vec::len).sum::<usize>() - data.len();
+            self.stats.bytes_received += others as u64;
+        }
+        out
+    }
+
+    /// `MPI_Allreduce(SUM)` over a `u64`.
+    pub fn allreduce_sum_u64(&mut self, value: u64) -> u64 {
+        let parts = self.allgatherv(&value.to_le_bytes());
+        parts
+            .iter()
+            .map(|p| u64::from_le_bytes(p.as_slice().try_into().expect("8-byte payload")))
+            .sum()
+    }
+
+    /// `MPI_Allreduce(MAX)` over an `f64`.
+    pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
+        let parts = self.allgatherv(&value.to_le_bytes());
+        parts
+            .iter()
+            .map(|p| f64::from_le_bytes(p.as_slice().try_into().expect("8-byte payload")))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Gather every rank's virtual clock on all ranks (used by reports to
+    /// show min/max rank times, i.e. the paper's load-imbalance bars).
+    pub fn gather_clocks(&mut self) -> Vec<f64> {
+        let now = self.clock.now();
+        let parts = self.allgatherv(&now.to_le_bytes());
+        parts
+            .iter()
+            .map(|p| f64::from_le_bytes(p.as_slice().try_into().expect("8-byte payload")))
+            .collect()
+    }
+
+    /// Simulation-internal broadcast: moves bytes from `root` to every rank
+    /// **without charging the network model** (no α–β cost, no byte
+    /// counters; clocks only synchronize to the entry max, like a barrier
+    /// with zero latency).
+    ///
+    /// Use this when the *modeled* system computes data locally on every
+    /// rank but the *simulation* materializes it once and ships it — e.g.
+    /// the dynamic-partitioning driver, where the master executes and
+    /// measures all chunks so the dealing protocol can be replayed
+    /// deterministically. Never use it for data the modeled system would
+    /// actually move over the network.
+    pub fn transport_bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
+        assert!(root < self.size());
+        if self.rank == root {
+            *self.shared.slots[root].lock() = data.to_vec();
+        }
+        *self.shared.times[self.rank].lock() = self.clock.now();
+        self.shared.barrier.wait();
+        let out = self.shared.slots[root].lock().clone();
+        let entry_max = self.read_entry_max();
+        self.shared.barrier.wait();
+        self.clock.advance_to(entry_max);
+        out
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    /// Write our entry time, wait, read the max, wait again.
+    fn exchange_times(&mut self) -> f64 {
+        *self.shared.times[self.rank].lock() = self.clock.now();
+        self.shared.barrier.wait();
+        let max = self.read_entry_max();
+        self.shared.barrier.wait();
+        max
+    }
+
+    fn read_entry_max(&self) -> f64 {
+        (0..self.size())
+            .map(|r| *self.shared.times[r].lock())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}

@@ -1,0 +1,129 @@
+//! α–β (latency–bandwidth) network cost model.
+//!
+//! Every communication primitive charges `α · hops + β · bytes` virtual
+//! seconds. Collectives over `P` ranks pay `⌈log₂ P⌉` latency hops, matching
+//! the tree/recursive-doubling algorithms of real MPI implementations
+//! (OpenMPI 1.6 in the paper). The default parameters approximate the QDR
+//! InfiniBand fabric of the "Blue Wonder" iDataPlex the paper used.
+
+/// Latency–bandwidth model for the simulated interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Per-hop latency in seconds.
+    pub alpha: f64,
+    /// Seconds per byte (inverse bandwidth).
+    pub beta: f64,
+}
+
+impl NetModel {
+    /// A free, instantaneous network (useful for semantics-only tests).
+    pub fn ideal() -> Self {
+        NetModel {
+            alpha: 0.0,
+            beta: 0.0,
+        }
+    }
+
+    /// QDR InfiniBand-like fabric: ~1.5 µs latency, ~3.2 GB/s effective
+    /// point-to-point bandwidth — the class of interconnect on the paper's
+    /// iDataPlex cluster.
+    pub fn idataplex() -> Self {
+        NetModel {
+            alpha: 1.5e-6,
+            beta: 1.0 / 3.2e9,
+        }
+    }
+
+    /// Gigabit-Ethernet-like fabric (slower; used in ablation benches).
+    pub fn gigabit() -> Self {
+        NetModel {
+            alpha: 50e-6,
+            beta: 1.0 / 110e6,
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Latency hops of a `P`-rank collective: `⌈log₂ P⌉` (0 for P ≤ 1).
+    pub fn hops(ranks: usize) -> u32 {
+        if ranks <= 1 {
+            0
+        } else {
+            usize::BITS - (ranks - 1).leading_zeros()
+        }
+    }
+
+    /// Cost of a barrier over `ranks` ranks.
+    pub fn barrier(&self, ranks: usize) -> f64 {
+        self.alpha * Self::hops(ranks) as f64
+    }
+
+    /// Cost of an allgatherv where `total_bytes` is the sum of all ranks'
+    /// contributions: every rank ends up receiving `total_bytes` (its own
+    /// contribution is free, a second-order term we fold into β).
+    pub fn allgatherv(&self, ranks: usize, total_bytes: usize) -> f64 {
+        self.alpha * Self::hops(ranks) as f64 + self.beta * total_bytes as f64
+    }
+
+    /// Cost of a gatherv/scatterv/broadcast moving `total_bytes` through a
+    /// `⌈log₂ P⌉`-deep tree.
+    pub fn tree_move(&self, ranks: usize, total_bytes: usize) -> f64 {
+        self.alpha * Self::hops(ranks) as f64 + self.beta * total_bytes as f64
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::idataplex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_log2_ceil() {
+        assert_eq!(NetModel::hops(0), 0);
+        assert_eq!(NetModel::hops(1), 0);
+        assert_eq!(NetModel::hops(2), 1);
+        assert_eq!(NetModel::hops(3), 2);
+        assert_eq!(NetModel::hops(4), 2);
+        assert_eq!(NetModel::hops(5), 3);
+        assert_eq!(NetModel::hops(192), 8);
+        assert_eq!(NetModel::hops(256), 8);
+        assert_eq!(NetModel::hops(257), 9);
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let m = NetModel::ideal();
+        assert_eq!(m.p2p(1 << 20), 0.0);
+        assert_eq!(m.allgatherv(64, 1 << 30), 0.0);
+        assert_eq!(m.barrier(64), 0.0);
+    }
+
+    #[test]
+    fn p2p_scales_with_bytes() {
+        let m = NetModel::idataplex();
+        assert!(m.p2p(2_000_000) > m.p2p(1_000_000));
+        assert!(m.p2p(0) == m.alpha);
+    }
+
+    #[test]
+    fn collective_scales_with_ranks_and_bytes() {
+        let m = NetModel::idataplex();
+        assert!(m.allgatherv(128, 1000) > m.allgatherv(2, 1000));
+        assert!(m.allgatherv(8, 1 << 20) > m.allgatherv(8, 1 << 10));
+    }
+
+    #[test]
+    fn gigabit_slower_than_ib() {
+        let g = NetModel::gigabit();
+        let ib = NetModel::idataplex();
+        assert!(g.p2p(1 << 20) > ib.p2p(1 << 20));
+    }
+}

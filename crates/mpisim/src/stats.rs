@@ -1,0 +1,56 @@
+//! Per-rank communication statistics.
+
+/// Counters a rank accumulates while communicating. Returned with each
+/// rank's result so experiments can report communication volume alongside
+/// time (the paper notes loop 2's integer exchange is "substantially less
+/// communication" than loop 1's string exchange — these counters show it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Bytes this rank contributed to sends and collectives.
+    pub bytes_sent: u64,
+    /// Bytes this rank received (including its share of collectives).
+    pub bytes_received: u64,
+    /// Point-to-point messages sent.
+    pub p2p_sends: u64,
+    /// Point-to-point messages received.
+    pub p2p_recvs: u64,
+    /// Collective operations participated in (barriers included).
+    pub collectives: u64,
+}
+
+impl CommStats {
+    /// Merge another rank's counters into this one (for cluster totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.p2p_sends += other.p2p_sends;
+        self.p2p_recvs += other.p2p_recvs;
+        self.collectives += other.collectives;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CommStats {
+            bytes_sent: 10,
+            bytes_received: 20,
+            p2p_sends: 1,
+            p2p_recvs: 2,
+            collectives: 3,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.bytes_sent, 20);
+        assert_eq!(a.collectives, 6);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = CommStats::default();
+        assert_eq!(s.bytes_sent + s.bytes_received + s.p2p_sends + s.p2p_recvs + s.collectives, 0);
+    }
+}

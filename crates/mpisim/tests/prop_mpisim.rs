@@ -1,0 +1,78 @@
+//! Property-based tests for the MPI substrate: packing round-trips and
+//! collective semantics at arbitrary rank counts and payload shapes.
+
+use mpisim::pack::{
+    pack_byte_strings, pack_u32s, pack_u64s, unpack_byte_strings, unpack_u32s, unpack_u64s,
+};
+use mpisim::{run_cluster, NetModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn byte_strings_round_trip(items in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 0..32)) {
+        let packed = pack_byte_strings(&items);
+        prop_assert_eq!(unpack_byte_strings(&packed).unwrap(), items);
+    }
+
+    #[test]
+    fn truncated_pack_never_panics(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..8),
+        cut in 0usize..200,
+    ) {
+        let packed = pack_byte_strings(&items);
+        let cut = cut.min(packed.len());
+        // Must return None or a (possibly wrong-length) value, never panic.
+        let _ = unpack_byte_strings(&packed[..cut]);
+    }
+
+    #[test]
+    fn u32_u64_round_trip(a in proptest::collection::vec(any::<u32>(), 0..64),
+                          b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        prop_assert_eq!(unpack_u32s(&pack_u32s(&a)).unwrap(), a);
+        prop_assert_eq!(unpack_u64s(&pack_u64s(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn allgatherv_reassembles_in_rank_order(ranks in 1usize..9, base in 0u8..200) {
+        let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
+            let mine = vec![base.wrapping_add(comm.rank() as u8); comm.rank() % 5 + 1];
+            comm.allgatherv(&mine)
+        });
+        for o in &outs {
+            prop_assert_eq!(o.value.len(), ranks);
+            for (r, part) in o.value.iter().enumerate() {
+                prop_assert_eq!(part.len(), r % 5 + 1);
+                prop_assert!(part.iter().all(|&b| b == base.wrapping_add(r as u8)));
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_is_rank_invariant(ranks in 1usize..9, values in proptest::collection::vec(0u64..1000, 9)) {
+        let vals = values.clone();
+        let outs = run_cluster(ranks, NetModel::idataplex(), move |comm| {
+            comm.allreduce_sum_u64(vals[comm.rank()])
+        });
+        let expect: u64 = values[..ranks].iter().sum();
+        for o in &outs {
+            prop_assert_eq!(o.value, expect);
+        }
+    }
+
+    #[test]
+    fn barrier_clock_sync_is_max(ranks in 2usize..8, charges in proptest::collection::vec(0.0f64..5.0, 8)) {
+        let ch = charges.clone();
+        let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
+            comm.charge(ch[comm.rank()]);
+            comm.barrier();
+            comm.clock.now()
+        });
+        let expect = charges[..ranks].iter().cloned().fold(0.0, f64::max);
+        for o in &outs {
+            prop_assert!((o.value - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic virtual-time replay of a scheduled loop.
+//!
+//! Given the measured cost of every loop iteration, [`simulate_loop`] replays
+//! the configured schedule with greedy list scheduling: the next chunk in the
+//! schedule's grab order goes to the thread that becomes idle first. For
+//! `schedule(dynamic)` this is *exactly* the runtime behaviour of an OpenMP
+//! team (modulo scheduler noise); for `schedule(static)` ownership is fixed
+//! up front. The result is a per-thread busy-time vector and the loop
+//! makespan, computable for any thread count on any host.
+
+use crate::schedule::{chunk_sequence, static_owner, Chunk, Schedule};
+
+/// Outcome of replaying one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopSim {
+    /// Busy time per thread, seconds.
+    pub thread_busy: Vec<f64>,
+    /// Virtual duration of the loop (max completion time across threads).
+    pub makespan: f64,
+    /// Sum of all item costs (serial time).
+    pub serial_time: f64,
+    /// Number of chunks dispatched.
+    pub chunks: usize,
+}
+
+impl LoopSim {
+    /// Parallel efficiency: `serial / (threads * makespan)`, in (0, 1].
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0.0 {
+            1.0
+        } else {
+            self.serial_time / (self.thread_busy.len() as f64 * self.makespan)
+        }
+    }
+
+    /// Load imbalance: `max_thread_busy / mean_thread_busy` (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let sum: f64 = self.thread_busy.iter().sum();
+        if sum == 0.0 {
+            return 1.0;
+        }
+        let mean = sum / self.thread_busy.len() as f64;
+        let max = self.thread_busy.iter().cloned().fold(0.0, f64::max);
+        max / mean
+    }
+}
+
+fn chunk_cost(costs: &[f64], c: Chunk) -> f64 {
+    costs[c.start..c.end].iter().sum()
+}
+
+/// Replay `schedule` over `costs` with `threads` workers.
+pub fn simulate_loop(costs: &[f64], threads: usize, schedule: Schedule) -> LoopSim {
+    let threads = threads.max(1);
+    let chunks = chunk_sequence(costs.len(), threads, schedule);
+    let mut busy = vec![0.0f64; threads];
+    match schedule {
+        Schedule::Static { .. } => {
+            for (i, &c) in chunks.iter().enumerate() {
+                busy[static_owner(i, threads)] += chunk_cost(costs, c);
+            }
+        }
+        Schedule::Dynamic { .. } | Schedule::Guided { .. } => {
+            // Greedy list scheduling: next chunk to the earliest-idle thread.
+            for &c in &chunks {
+                let t = earliest(&busy);
+                busy[t] += chunk_cost(costs, c);
+            }
+        }
+    }
+    let makespan = busy.iter().cloned().fold(0.0, f64::max);
+    LoopSim {
+        makespan,
+        serial_time: costs.iter().sum(),
+        chunks: chunks.len(),
+        thread_busy: busy,
+    }
+}
+
+/// Replay a list of pre-assigned chunk groups (e.g. the chunked round-robin
+/// MPI distribution): each group is one rank's chunk list; within a rank the
+/// chunks' items are further scheduled over `threads` OpenMP threads with
+/// `inner` scheduling. Returns one [`LoopSim`] per group.
+pub fn simulate_grouped(
+    costs: &[f64],
+    groups: &[Vec<Chunk>],
+    threads: usize,
+    inner: Schedule,
+) -> Vec<LoopSim> {
+    groups
+        .iter()
+        .map(|chunks| {
+            // Flatten this rank's items into a contiguous cost vector and
+            // replay the inner OpenMP schedule over them.
+            let rank_costs: Vec<f64> = chunks
+                .iter()
+                .flat_map(|c| costs[c.start..c.end].iter().copied())
+                .collect();
+            simulate_loop(&rank_costs, threads, inner)
+        })
+        .collect()
+}
+
+fn earliest(busy: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &b) in busy.iter().enumerate().skip(1) {
+        if b < busy[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_perfectly_balanced() {
+        let costs = vec![1.0; 16];
+        let sim = simulate_loop(&costs, 4, Schedule::Dynamic { chunk: 1 });
+        assert!((sim.makespan - 4.0).abs() < 1e-12);
+        assert!((sim.imbalance() - 1.0).abs() < 1e-12);
+        assert!((sim.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let costs = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for threads in 1..6 {
+            for s in [
+                Schedule::Static { chunk: None },
+                Schedule::Static { chunk: Some(2) },
+                Schedule::Dynamic { chunk: 1 },
+                Schedule::Dynamic { chunk: 3 },
+                Schedule::Guided { min_chunk: 1 },
+            ] {
+                let sim = simulate_loop(&costs, threads, s);
+                let serial: f64 = costs.iter().sum();
+                let max_item = 9.0;
+                assert!(sim.makespan <= serial + 1e-9);
+                assert!(sim.makespan >= max_item - 1e-9, "{s:?} t={threads}");
+                assert!(sim.makespan >= serial / threads as f64 - 1e-9);
+                let total: f64 = sim.thread_busy.iter().sum();
+                assert!((total - serial).abs() < 1e-9, "work conserved");
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_is_serial() {
+        let costs = vec![2.0, 3.0, 5.0];
+        let sim = simulate_loop(&costs, 1, Schedule::Dynamic { chunk: 1 });
+        assert!((sim.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skew() {
+        // One huge item at the front: static-block puts it with a full block
+        // of other work; dynamic isolates it.
+        let mut costs = vec![100.0];
+        costs.extend(std::iter::repeat(1.0).take(99));
+        let stat = simulate_loop(&costs, 4, Schedule::Static { chunk: None });
+        let dyn_ = simulate_loop(&costs, 4, Schedule::Dynamic { chunk: 1 });
+        assert!(dyn_.makespan < stat.makespan);
+        assert!((dyn_.makespan - 100.0).abs() < 1e-9); // bounded by the big item
+    }
+
+    #[test]
+    fn empty_loop() {
+        let sim = simulate_loop(&[], 4, Schedule::Dynamic { chunk: 2 });
+        assert_eq!(sim.makespan, 0.0);
+        assert_eq!(sim.chunks, 0);
+        assert_eq!(sim.efficiency(), 1.0);
+        assert_eq!(sim.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn grouped_replay_per_rank() {
+        use crate::schedule::chunked_round_robin;
+        let costs = vec![1.0; 40];
+        let groups = chunked_round_robin(40, 4, 5);
+        let sims = simulate_grouped(&costs, &groups, 2, Schedule::Dynamic { chunk: 1 });
+        assert_eq!(sims.len(), 4);
+        // Each rank: 10 items over 2 threads -> makespan 5.
+        for sim in &sims {
+            assert!((sim.makespan - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grouped_skew_shows_imbalance() {
+        use crate::schedule::chunked_round_robin;
+        // Rank 0's chunks carry heavy items.
+        let mut costs = vec![1.0; 40];
+        for c in costs.iter_mut().take(5) {
+            *c = 10.0;
+        }
+        let groups = chunked_round_robin(40, 4, 5);
+        let sims = simulate_grouped(&costs, &groups, 1, Schedule::Dynamic { chunk: 1 });
+        let times: Vec<f64> = sims.iter().map(|s| s.makespan).collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 2.0 * min, "skewed chunks must show rank imbalance");
+    }
+}

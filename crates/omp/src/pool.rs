@@ -1,0 +1,167 @@
+//! Real parallel execution of work loops.
+//!
+//! [`parallel_map`] executes a loop body over a slice with a shared atomic
+//! cursor — the execution model of OpenMP `schedule(dynamic, 1)`. On this
+//! workspace's single-core benchmark host the threads serialize, which is
+//! exactly why timing is handled separately by [`crate::makespan`]: the
+//! *results* come from here, the *clock* from the replay.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A simple reusable description of a thread team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    /// Number of worker threads the team uses.
+    pub threads: usize,
+}
+
+impl Pool {
+    /// Create a team of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A team sized to the host's available parallelism.
+    pub fn host() -> Self {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Map `f` over `items` with dynamic self-scheduling.
+    pub fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        parallel_map(items, self.threads, f)
+    }
+}
+
+/// Map `f` over `items` using `threads` OS threads and a shared cursor
+/// (dynamic schedule, chunk 1). Results are returned in input order.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let out_slots = SlotWriter::new(&mut out);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: each index is claimed exactly once by the cursor.
+                unsafe { out_slots.write(i, r) };
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Map `f` over `items`, also measuring each item's wall-clock cost in
+/// seconds. Runs *single-threaded* so the per-item costs are clean; callers
+/// feed the costs into the makespan replay to obtain parallel timings.
+pub fn parallel_map_timed<T, R>(items: &[T], mut f: impl FnMut(&T) -> R) -> (Vec<R>, Vec<f64>) {
+    let mut results = Vec::with_capacity(items.len());
+    let mut costs = Vec::with_capacity(items.len());
+    for item in items {
+        let t0 = Instant::now();
+        results.push(f(item));
+        costs.push(t0.elapsed().as_secs_f64());
+    }
+    (results, costs)
+}
+
+/// Shared-slot writer used by `parallel_map` to scatter results by index
+/// without locks. Each index must be written at most once.
+struct SlotWriter<R> {
+    ptr: *mut Option<R>,
+}
+
+impl<R> SlotWriter<R> {
+    fn new(slots: &mut [Option<R>]) -> Self {
+        SlotWriter {
+            ptr: slots.as_mut_ptr(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one writer.
+    unsafe fn write(&self, i: usize, value: R) {
+        std::ptr::write(self.ptr.add(i), Some(value));
+    }
+}
+
+// SAFETY: disjoint-index writes are externally guaranteed by the atomic
+// cursor; the raw pointer itself is safe to share under that protocol.
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_single_thread_path() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_empty() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, 8, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn map_more_threads_than_items() {
+        let items = vec![5u32; 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x).len(), 3);
+    }
+
+    #[test]
+    fn pool_interface() {
+        let p = Pool::new(0);
+        assert_eq!(p.threads, 1);
+        let out = Pool::new(3).map(&[1, 2, 3, 4], |&x| x * x);
+        assert_eq!(out, vec![1, 4, 9, 16]);
+        assert!(Pool::host().threads >= 1);
+    }
+
+    #[test]
+    fn timed_map_returns_costs() {
+        let items = vec![10u64, 20, 30];
+        let (out, costs) = parallel_map_timed(&items, |&x| x + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+        assert_eq!(costs.len(), 3);
+        assert!(costs.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn map_with_nontrivial_results() {
+        let items: Vec<usize> = (0..200).collect();
+        let out = parallel_map(&items, 8, |&x| vec![x; x % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the sequence-I/O substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `seqio`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or writing sequence data.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A FASTA/FASTQ record violated the format (message, byte offset hint).
+    Format(String),
+    /// A base outside `ACGTN` (case-insensitive) was encountered where a
+    /// strict alphabet was required.
+    InvalidBase(u8),
+    /// A k-mer parameter was out of the supported range.
+    InvalidK(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Format(msg) => write!(f, "format error: {msg}"),
+            Error::InvalidBase(b) => {
+                write!(f, "invalid base byte 0x{b:02x} ({:?})", *b as char)
+            }
+            Error::InvalidK(k) => write!(f, "unsupported k-mer size {k} (must be 1..=32)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::InvalidBase(b'X');
+        assert!(e.to_string().contains("0x58"));
+        let e = Error::InvalidK(33);
+        assert!(e.to_string().contains("33"));
+        let e = Error::Format("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,344 @@
+//! FASTA records, readers and writers.
+//!
+//! The Trinity pipeline exchanges almost all of its data as (multi-)FASTA
+//! files: reads, Inchworm contigs, component bundles and final transcripts.
+//! The reader here handles multi-line records, arbitrary description text
+//! after the identifier, and is buffered and byte-oriented.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+
+/// One FASTA record: `>id description` header plus concatenated sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Identifier: header text up to the first whitespace.
+    pub id: String,
+    /// Remainder of the header line (may be empty).
+    pub desc: String,
+    /// Sequence bytes with newlines removed.
+    pub seq: Vec<u8>,
+}
+
+impl Record {
+    /// Construct a record with no description.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        Record {
+            id: id.into(),
+            desc: String::new(),
+            seq: seq.into(),
+        }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Record {
+    /// A record coerces to its sequence bytes (readers of read sets care
+    /// about the sequence, not the header).
+    fn as_ref(&self) -> &[u8] {
+        &self.seq
+    }
+}
+
+/// Streaming FASTA reader over any `Read`.
+pub struct FastaReader<R: Read> {
+    inner: BufReader<R>,
+    /// Header line of the next record (without `>`), if already consumed.
+    pending_header: Option<String>,
+    line_no: usize,
+    finished: bool,
+}
+
+impl FastaReader<std::fs::File> {
+    /// Open a FASTA file from a path.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> FastaReader<R> {
+    /// Wrap a reader.
+    pub fn new(reader: R) -> Self {
+        FastaReader {
+            inner: BufReader::with_capacity(1 << 16, reader),
+            pending_header: None,
+            line_no: 0,
+            finished: false,
+        }
+    }
+
+    fn read_line(&mut self, buf: &mut String) -> Result<usize> {
+        buf.clear();
+        let n = self.inner.read_line(buf)?;
+        if n > 0 {
+            self.line_no += 1;
+        }
+        while buf.ends_with('\n') || buf.ends_with('\r') {
+            buf.pop();
+        }
+        Ok(n)
+    }
+
+    /// Read the next record, or `None` at end of input.
+    pub fn next_record(&mut self) -> Result<Option<Record>> {
+        if self.finished {
+            return Ok(None);
+        }
+        let mut line = String::new();
+        let header = match self.pending_header.take() {
+            Some(h) => h,
+            None => loop {
+                let n = self.read_line(&mut line)?;
+                if n == 0 {
+                    self.finished = true;
+                    return Ok(None);
+                }
+                if line.is_empty() {
+                    continue; // tolerate blank lines between records
+                }
+                if let Some(h) = line.strip_prefix('>') {
+                    break h.to_string();
+                }
+                return Err(Error::Format(format!(
+                    "line {}: expected '>' header, found {:?}",
+                    self.line_no, line
+                )));
+            },
+        };
+
+        let (id, desc) = match header.split_once(char::is_whitespace) {
+            Some((id, rest)) => (id.to_string(), rest.trim_start().to_string()),
+            None => (header, String::new()),
+        };
+        if id.is_empty() {
+            return Err(Error::Format(format!(
+                "line {}: empty record identifier",
+                self.line_no
+            )));
+        }
+
+        let mut seq = Vec::new();
+        loop {
+            let n = self.read_line(&mut line)?;
+            if n == 0 {
+                self.finished = true;
+                break;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(h) = line.strip_prefix('>') {
+                self.pending_header = Some(h.to_string());
+                break;
+            }
+            seq.extend_from_slice(line.as_bytes());
+        }
+        Ok(Some(Record { id, desc, seq }))
+    }
+
+    /// Collect every record into memory.
+    pub fn read_all(mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for FastaReader<R> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Buffered FASTA writer with configurable line wrapping.
+pub struct FastaWriter<W: Write> {
+    inner: W,
+    /// Wrap sequence lines at this many bases (0 = no wrapping).
+    pub line_width: usize,
+}
+
+impl FastaWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) a FASTA file at a path.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Wrap a writer with the conventional 60-column wrapping.
+    pub fn new(writer: W) -> Self {
+        FastaWriter {
+            inner: writer,
+            line_width: 60,
+        }
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, rec: &Record) -> Result<()> {
+        if rec.desc.is_empty() {
+            writeln!(self.inner, ">{}", rec.id)?;
+        } else {
+            writeln!(self.inner, ">{} {}", rec.id, rec.desc)?;
+        }
+        if self.line_width == 0 {
+            self.inner.write_all(&rec.seq)?;
+            self.inner.write_all(b"\n")?;
+        } else {
+            for chunk in rec.seq.chunks(self.line_width) {
+                self.inner.write_all(chunk)?;
+                self.inner.write_all(b"\n")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+/// Read a whole FASTA byte buffer (convenience for tests and in-memory flows).
+pub fn parse_fasta(bytes: &[u8]) -> Result<Vec<Record>> {
+    FastaReader::new(bytes).read_all()
+}
+
+/// Serialize records to a FASTA byte buffer.
+pub fn to_fasta_bytes(records: &[Record]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    {
+        let mut w = FastaWriter::new(&mut buf);
+        for rec in records {
+            w.write_record(rec).expect("write to Vec cannot fail");
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_record() {
+        let recs = parse_fasta(b">c1 a contig\nACGT\nTTGG\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "c1");
+        assert_eq!(recs[0].desc, "a contig");
+        assert_eq!(recs[0].seq, b"ACGTTTGG");
+    }
+
+    #[test]
+    fn parses_multiple_records_and_blank_lines() {
+        let recs = parse_fasta(b">a\nAC\n\n>b\nGG\nTT\n\n>c\nA\n").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].seq, b"GGTT");
+        assert_eq!(recs[2].id, "c");
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let recs = parse_fasta(b">a\r\nACGT\r\n>b\r\nTT\r\n").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[1].seq, b"TT");
+    }
+
+    #[test]
+    fn rejects_leading_garbage() {
+        assert!(matches!(parse_fasta(b"ACGT\n"), Err(Error::Format(_))));
+    }
+
+    #[test]
+    fn rejects_empty_id() {
+        assert!(parse_fasta(b">\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_fasta(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_with_no_sequence_is_allowed() {
+        let recs = parse_fasta(b">a\n>b\nAC\n").unwrap();
+        assert_eq!(recs[0].seq, b"");
+        assert_eq!(recs[1].seq, b"AC");
+    }
+
+    #[test]
+    fn round_trip_with_wrapping() {
+        let records = vec![
+            Record::new("x", b"ACGTACGTACGT".to_vec()),
+            Record {
+                id: "y".into(),
+                desc: "len=3".into(),
+                seq: b"GGG".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut buf);
+            w.line_width = 5;
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+        }
+        let parsed = parse_fasta(&buf).unwrap();
+        assert_eq!(parsed, records);
+        // 12 bases at width 5 -> 3 sequence lines
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| !l.starts_with('>')).count(), 4);
+    }
+
+    #[test]
+    fn round_trip_unwrapped() {
+        let records = vec![Record::new("n1", b"ACGT".repeat(50))];
+        let mut buf = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut buf);
+            w.line_width = 0;
+            w.write_record(&records[0]).unwrap();
+        }
+        assert_eq!(parse_fasta(&buf).unwrap(), records);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let r = FastaReader::new(&b">a\nAC\n>b\nGT\n"[..]);
+        let ids: Vec<String> = r.map(|rec| rec.unwrap().id).collect();
+        assert_eq!(ids, ["a", "b"]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("seqio_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fa");
+        {
+            let mut w = FastaWriter::create(&path).unwrap();
+            w.write_record(&Record::new("f", b"ACGTACGA".to_vec()))
+                .unwrap();
+            w.flush().unwrap();
+        }
+        let recs = FastaReader::from_path(&path).unwrap().read_all().unwrap();
+        assert_eq!(recs[0].seq, b"ACGTACGA");
+        std::fs::remove_file(&path).ok();
+    }
+}

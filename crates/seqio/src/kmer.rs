@@ -1,0 +1,408 @@
+//! 2-bit packed k-mers, k ≤ 32.
+//!
+//! A [`Kmer`] packs up to 32 bases into a `u64`, most-significant-pair first,
+//! so that integer ordering equals lexicographic ordering of the bases. This
+//! is the representation used by the k-mer counter (Jellyfish substrate), the
+//! Inchworm dictionary and the Chrysalis component maps.
+
+use crate::alphabet::{base_to_code, code_to_base, complement_code};
+use crate::error::{Error, Result};
+
+/// A fixed-length DNA word, 2 bits per base, `k <= 32`.
+///
+/// The word is stored right-aligned: the last base occupies the two least
+/// significant bits. Together with MSB-first packing this makes `Ord` on the
+/// `(k, packed)` pair equal to lexicographic order for equal `k`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Kmer {
+    packed: u64,
+    k: u8,
+}
+
+impl Kmer {
+    /// Maximum supported k.
+    pub const MAX_K: usize = 32;
+
+    /// Build from ASCII bases. Fails on non-ACGT bytes or bad `k`.
+    pub fn from_bases(seq: &[u8]) -> Result<Self> {
+        let k = seq.len();
+        if k == 0 || k > Self::MAX_K {
+            return Err(Error::InvalidK(k));
+        }
+        let mut packed = 0u64;
+        for &b in seq {
+            let code = base_to_code(b).ok_or(Error::InvalidBase(b))?;
+            packed = (packed << 2) | code as u64;
+        }
+        Ok(Kmer { packed, k: k as u8 })
+    }
+
+    /// Build directly from a packed word. `packed` must only use the low
+    /// `2k` bits.
+    pub fn from_packed(packed: u64, k: usize) -> Result<Self> {
+        if k == 0 || k > Self::MAX_K {
+            return Err(Error::InvalidK(k));
+        }
+        if k < 32 && packed >> (2 * k) != 0 {
+            return Err(Error::Format(format!(
+                "packed value 0x{packed:x} has bits above 2k={}",
+                2 * k
+            )));
+        }
+        Ok(Kmer { packed, k: k as u8 })
+    }
+
+    /// The packed 2-bit representation.
+    #[inline(always)]
+    pub fn packed(self) -> u64 {
+        self.packed
+    }
+
+    /// Word length in bases.
+    #[inline(always)]
+    pub fn k(self) -> usize {
+        self.k as usize
+    }
+
+    /// The 2-bit code of base `i` (0 = leftmost).
+    #[inline(always)]
+    pub fn code_at(self, i: usize) -> u8 {
+        debug_assert!(i < self.k());
+        ((self.packed >> (2 * (self.k() - 1 - i))) & 0b11) as u8
+    }
+
+    /// Decode into ASCII bases.
+    pub fn bases(self) -> Vec<u8> {
+        (0..self.k()).map(|i| code_to_base(self.code_at(i))).collect()
+    }
+
+    /// Reverse complement of this k-mer.
+    pub fn revcomp(self) -> Self {
+        let mut packed = 0u64;
+        for i in 0..self.k() {
+            let code = complement_code(self.code_at(i));
+            packed |= (code as u64) << (2 * i);
+        }
+        Kmer { packed, k: self.k }
+    }
+
+    /// The lexicographically smaller of this k-mer and its reverse complement.
+    pub fn canonical(self) -> Self {
+        let rc = self.revcomp();
+        if rc.packed < self.packed {
+            rc
+        } else {
+            self
+        }
+    }
+
+    /// Shift one base onto the right end, dropping the leftmost base:
+    /// the successor k-mer in a left-to-right scan.
+    #[inline(always)]
+    pub fn roll_right(self, code: u8) -> Self {
+        let mask = if self.k() == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * self.k())) - 1
+        };
+        Kmer {
+            packed: ((self.packed << 2) | (code & 0b11) as u64) & mask,
+            k: self.k,
+        }
+    }
+
+    /// Shift one base onto the left end, dropping the rightmost base:
+    /// the predecessor k-mer.
+    #[inline(always)]
+    pub fn roll_left(self, code: u8) -> Self {
+        Kmer {
+            packed: (self.packed >> 2) | (((code & 0b11) as u64) << (2 * (self.k() - 1))),
+            k: self.k,
+        }
+    }
+
+    /// The (k-1)-mer prefix (drops the last base). Requires `k >= 2`.
+    pub fn prefix(self) -> Self {
+        debug_assert!(self.k() >= 2);
+        Kmer {
+            packed: self.packed >> 2,
+            k: self.k - 1,
+        }
+    }
+
+    /// The (k-1)-mer suffix (drops the first base). Requires `k >= 2`.
+    pub fn suffix(self) -> Self {
+        debug_assert!(self.k() >= 2);
+        let k1 = self.k() - 1;
+        let mask = (1u64 << (2 * k1)) - 1;
+        Kmer {
+            packed: self.packed & mask,
+            k: self.k - 1,
+        }
+    }
+}
+
+impl std::fmt::Debug for Kmer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kmer({})", String::from_utf8_lossy(&self.bases()))
+    }
+}
+
+impl std::fmt::Display for Kmer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.k() {
+            write!(f, "{}", code_to_base(self.code_at(i)) as char)?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming iterator over all valid k-mers of a byte sequence.
+///
+/// Windows containing a non-ACGT byte (e.g. `N`) are skipped; the iterator
+/// resumes after the offending byte, exactly as Jellyfish and Inchworm do.
+/// Yields `(offset, kmer)` pairs where `offset` is the 0-based start of the
+/// window in the input.
+pub struct KmerIter<'a> {
+    seq: &'a [u8],
+    k: usize,
+    pos: usize,
+    current: u64,
+    /// Number of consecutive valid bases ending just before `pos`.
+    run: usize,
+    mask: u64,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Iterate over the k-mers of `seq`. Returns an error only for bad `k`.
+    pub fn new(seq: &'a [u8], k: usize) -> Result<Self> {
+        if k == 0 || k > Kmer::MAX_K {
+            return Err(Error::InvalidK(k));
+        }
+        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        Ok(KmerIter {
+            seq,
+            k,
+            pos: 0,
+            current: 0,
+            run: 0,
+            mask,
+        })
+    }
+}
+
+impl<'a> Iterator for KmerIter<'a> {
+    type Item = (usize, Kmer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match base_to_code(b) {
+                Some(code) => {
+                    self.current = ((self.current << 2) | code as u64) & self.mask;
+                    self.run += 1;
+                    if self.run >= self.k {
+                        let offset = self.pos - self.k;
+                        return Some((
+                            offset,
+                            Kmer {
+                                packed: self.current,
+                                k: self.k as u8,
+                            },
+                        ));
+                    }
+                }
+                None => {
+                    self.run = 0;
+                    self.current = 0;
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.seq.len() - self.pos;
+        // Upper bound: every remaining byte could complete a window.
+        (0, Some(remaining + self.run))
+    }
+}
+
+/// Iterator adapter yielding canonical k-mers (min of forward and revcomp).
+pub struct CanonicalKmers<'a>(KmerIter<'a>);
+
+impl<'a> CanonicalKmers<'a> {
+    /// Iterate over canonical k-mers of `seq`.
+    pub fn new(seq: &'a [u8], k: usize) -> Result<Self> {
+        Ok(CanonicalKmers(KmerIter::new(seq, k)?))
+    }
+}
+
+impl<'a> Iterator for CanonicalKmers<'a> {
+    type Item = (usize, Kmer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|(off, km)| (off, km.canonical()))
+    }
+}
+
+/// Count of valid k-mer windows in `seq` (convenience used by sizing code).
+pub fn count_kmers(seq: &[u8], k: usize) -> usize {
+    match KmerIter::new(seq, k) {
+        Ok(it) => it.count(),
+        Err(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for s in [&b"A"[..], b"ACGT", b"TTTTTTTT", b"GATTACA"] {
+            let km = Kmer::from_bases(s).unwrap();
+            assert_eq!(km.bases(), s.to_vec());
+            assert_eq!(km.k(), s.len());
+        }
+    }
+
+    #[test]
+    fn max_k_supported() {
+        let s = vec![b'T'; 32];
+        let km = Kmer::from_bases(&s).unwrap();
+        assert_eq!(km.packed(), u64::MAX);
+        assert_eq!(km.bases(), s);
+        assert!(Kmer::from_bases(&vec![b'A'; 33]).is_err());
+        assert!(Kmer::from_bases(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_bases() {
+        assert!(matches!(
+            Kmer::from_bases(b"ACNG"),
+            Err(Error::InvalidBase(b'N'))
+        ));
+    }
+
+    #[test]
+    fn from_packed_validates_high_bits() {
+        assert!(Kmer::from_packed(0b1111, 2).is_ok());
+        assert!(Kmer::from_packed(0b1_1111, 2).is_err());
+        let km = Kmer::from_packed(u64::MAX, 32).unwrap();
+        assert_eq!(km.k(), 32);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Kmer::from_bases(b"AAAC").unwrap();
+        let b = Kmer::from_bases(b"AACA").unwrap();
+        let c = Kmer::from_bases(b"TTTT").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn revcomp_known_values() {
+        let km = Kmer::from_bases(b"ACGT").unwrap();
+        assert_eq!(km.revcomp(), km); // palindrome
+        let km = Kmer::from_bases(b"AAAA").unwrap();
+        assert_eq!(km.revcomp().bases(), b"TTTT");
+        let km = Kmer::from_bases(b"GATTACA").unwrap();
+        assert_eq!(km.revcomp().bases(), b"TGTAATC");
+    }
+
+    #[test]
+    fn canonical_is_min() {
+        let km = Kmer::from_bases(b"TTTT").unwrap();
+        assert_eq!(km.canonical().bases(), b"AAAA");
+        let km = Kmer::from_bases(b"AAAA").unwrap();
+        assert_eq!(km.canonical().bases(), b"AAAA");
+    }
+
+    #[test]
+    fn roll_right_matches_window() {
+        let seq = b"ACGTACGG";
+        let k = 4;
+        let mut km = Kmer::from_bases(&seq[..k]).unwrap();
+        for i in 1..=seq.len() - k {
+            let code = base_to_code(seq[i + k - 1]).unwrap();
+            km = km.roll_right(code);
+            assert_eq!(km, Kmer::from_bases(&seq[i..i + k]).unwrap());
+        }
+    }
+
+    #[test]
+    fn roll_left_matches_window() {
+        let seq = b"ACGTACGG";
+        let k = 4;
+        let mut km = Kmer::from_bases(&seq[seq.len() - k..]).unwrap();
+        for i in (0..seq.len() - k).rev() {
+            let code = base_to_code(seq[i]).unwrap();
+            km = km.roll_left(code);
+            assert_eq!(km, Kmer::from_bases(&seq[i..i + k]).unwrap());
+        }
+    }
+
+    #[test]
+    fn prefix_suffix() {
+        let km = Kmer::from_bases(b"ACGT").unwrap();
+        assert_eq!(km.prefix().bases(), b"ACG");
+        assert_eq!(km.suffix().bases(), b"CGT");
+    }
+
+    #[test]
+    fn iter_skips_n_runs() {
+        let seq = b"ACGTNACGT";
+        let kmers: Vec<_> = KmerIter::new(seq, 3).unwrap().collect();
+        // Windows: ACG, CGT from first run; ACG, CGT from second.
+        assert_eq!(kmers.len(), 4);
+        assert_eq!(kmers[0].0, 0);
+        assert_eq!(kmers[2].0, 5);
+        assert_eq!(kmers[2].1.bases(), b"ACG");
+    }
+
+    #[test]
+    fn iter_short_sequence_yields_nothing() {
+        assert_eq!(KmerIter::new(b"AC", 3).unwrap().count(), 0);
+        assert_eq!(KmerIter::new(b"", 3).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn iter_full_coverage() {
+        let seq = b"ACGTACGTAC";
+        let k = 5;
+        let got: Vec<_> = KmerIter::new(seq, k).unwrap().collect();
+        assert_eq!(got.len(), seq.len() - k + 1);
+        for (off, km) in got {
+            assert_eq!(km.bases(), seq[off..off + k].to_vec());
+        }
+    }
+
+    #[test]
+    fn canonical_iter_matches_manual() {
+        let seq = b"TTTTAAAA";
+        let canon: Vec<_> = CanonicalKmers::new(seq, 4)
+            .unwrap()
+            .map(|(_, km)| km)
+            .collect();
+        let manual: Vec<_> = KmerIter::new(seq, 4)
+            .unwrap()
+            .map(|(_, km)| km.canonical())
+            .collect();
+        assert_eq!(canon, manual);
+    }
+
+    #[test]
+    fn display_matches_bases() {
+        let km = Kmer::from_bases(b"GATTACA").unwrap();
+        assert_eq!(km.to_string(), "GATTACA");
+        assert_eq!(format!("{km:?}"), "Kmer(GATTACA)");
+    }
+
+    #[test]
+    fn count_kmers_helper() {
+        assert_eq!(count_kmers(b"ACGTACGT", 4), 5);
+        assert_eq!(count_kmers(b"ACGT", 99), 0);
+    }
+}

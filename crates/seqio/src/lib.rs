@@ -1,0 +1,29 @@
+//! Sequence I/O substrate for the `trinity-hpc` workspace.
+//!
+//! This crate provides the low-level pieces every other stage of the pipeline
+//! builds on:
+//!
+//! * [`alphabet`] — the DNA alphabet, complementation and validation;
+//! * [`kmer`] — 2-bit packed k-mers (k ≤ 32) with canonical forms and
+//!   streaming extraction from arbitrary byte sequences;
+//! * [`fasta`] / [`fastq`] — record types, readers and writers for the two
+//!   interchange formats the Trinity pipeline moves data through;
+//! * [`splitter`] — a PyFasta-equivalent even-by-bases partitioner used by
+//!   the distributed Bowtie step;
+//! * [`stats`] — assembly statistics (N50 and friends) used by reports.
+//!
+//! All parsing is byte-oriented (no UTF-8 validation on sequence data) and
+//! buffered, per the I/O guidance for HPC Rust.
+
+pub mod alphabet;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod kmer;
+pub mod splitter;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use fasta::{FastaReader, FastaWriter, Record};
+pub use fastq::{FastqReader, FastqRecord, FastqWriter};
+pub use kmer::{CanonicalKmers, Kmer, KmerIter};

@@ -1,0 +1,108 @@
+//! Property-based tests for the sequence substrate.
+
+use proptest::prelude::*;
+use seqio::alphabet::{revcomp, revcomp_in_place};
+use seqio::fasta::{parse_fasta, to_fasta_bytes, Record};
+use seqio::kmer::{Kmer, KmerIter};
+use seqio::splitter::plan_split;
+
+use seqio::fasta::Record as FaRecord;
+
+fn dna_strict() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..200)
+}
+
+fn dna_with_n() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn revcomp_is_involution(seq in dna_with_n()) {
+        prop_assert_eq!(revcomp(&revcomp(&seq)), seq);
+    }
+
+    #[test]
+    fn revcomp_in_place_matches(seq in dna_with_n()) {
+        let mut v = seq.clone();
+        revcomp_in_place(&mut v);
+        prop_assert_eq!(v, revcomp(&seq));
+    }
+
+    #[test]
+    fn kmer_pack_round_trip(seq in dna_strict().prop_filter("nonempty", |s| !s.is_empty())) {
+        let take = seq.len().min(32);
+        let km = Kmer::from_bases(&seq[..take]).unwrap();
+        prop_assert_eq!(km.bases(), seq[..take].to_vec());
+    }
+
+    #[test]
+    fn kmer_revcomp_involution(seq in dna_strict().prop_filter("len>=1", |s| !s.is_empty())) {
+        let take = seq.len().min(32);
+        let km = Kmer::from_bases(&seq[..take]).unwrap();
+        prop_assert_eq!(km.revcomp().revcomp(), km);
+    }
+
+    #[test]
+    fn canonical_idempotent(seq in dna_strict().prop_filter("len>=1", |s| !s.is_empty())) {
+        let take = seq.len().min(32);
+        let km = Kmer::from_bases(&seq[..take]).unwrap();
+        prop_assert_eq!(km.canonical().canonical(), km.canonical());
+        prop_assert!(km.canonical() <= km);
+    }
+
+    #[test]
+    fn kmer_iter_windows_match_slices(seq in dna_with_n(), k in 1usize..16) {
+        for (off, km) in KmerIter::new(&seq, k).unwrap() {
+            prop_assert_eq!(km.bases(), seq[off..off + k].to_vec());
+        }
+    }
+
+    #[test]
+    fn kmer_iter_count_on_clean_dna(seq in dna_strict(), k in 1usize..16) {
+        let n = KmerIter::new(&seq, k).unwrap().count();
+        let expect = seq.len().saturating_sub(k - 1);
+        prop_assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn fasta_round_trip(
+        ids in proptest::collection::vec("[a-zA-Z0-9_.-]{1,12}", 1..8),
+        seqs in proptest::collection::vec(dna_with_n(), 1..8),
+    ) {
+        let n = ids.len().min(seqs.len());
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(ids[i].clone(), seqs[i].clone()))
+            .collect();
+        let bytes = to_fasta_bytes(&records);
+        prop_assert_eq!(parse_fasta(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn split_partition_property(lens in proptest::collection::vec(0usize..500, 0..60), n in 1usize..12) {
+        let records: Vec<FaRecord> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| FaRecord::new(format!("r{i}"), vec![b'A'; l]))
+            .collect();
+        let plan = plan_split(&records, n).unwrap();
+        prop_assert_eq!(plan.n_pieces(), n);
+        let mut seen: Vec<usize> = plan.pieces.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..records.len()).collect();
+        prop_assert_eq!(seen, expect);
+        // Greedy bound: max load <= mean + max item length.
+        let loads: Vec<usize> = plan
+            .pieces
+            .iter()
+            .map(|p| p.iter().map(|&i| records[i].seq.len()).sum::<usize>())
+            .collect();
+        let total: usize = loads.iter().sum();
+        let maxlen = lens.iter().copied().max().unwrap_or(0);
+        let bound = total / n + maxlen;
+        prop_assert!(loads.iter().all(|&l| l <= bound));
+    }
+}

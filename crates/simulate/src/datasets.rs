@@ -1,0 +1,217 @@
+//! Dataset presets standing in for the paper's inputs.
+//!
+//! Sizes are scaled to a single-core host; each preset keeps the property
+//! that made the paper pick that dataset (scale, skew, or an annotated
+//! reference set). EXPERIMENTS.md records the scale factors.
+
+use seqio::fasta::Record;
+
+use crate::expression::ExpressionModel;
+use crate::reads::{simulate_reads, ReadSimConfig, SimulatedReads};
+use crate::transcriptome::{RefSeq, Transcriptome, TranscriptomeConfig};
+
+/// Which paper dataset a preset stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetPreset {
+    /// Tiny smoke-test set (not in the paper; for unit/integration tests).
+    Tiny,
+    /// The 130 M-read sugarbeet benchmark set: the *scaling* workload.
+    /// Heavy length skew, deep coverage.
+    SugarbeetLike,
+    /// The ~420 k-read whitefly set used for the Fig. 4 validation.
+    WhiteflyLike,
+    /// The 15.35 M-read "Schizophrenia" [sic — Schizosaccharomyces] set
+    /// with a reference transcript set (Figs. 5–6).
+    SchizoLike,
+    /// The 50 M-read Drosophila set with a reference set (Figs. 5–6).
+    DrosophilaLike,
+}
+
+/// A fully materialized synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which preset produced it.
+    pub preset: DatasetPreset,
+    /// The simulated reads.
+    pub reads: SimulatedReads,
+    /// Ground-truth reference transcripts.
+    pub reference: Vec<RefSeq>,
+}
+
+impl Dataset {
+    /// Generate a preset with the given seed (seeds vary per repeated run
+    /// in the Fig. 4 experiment).
+    pub fn generate(preset: DatasetPreset, seed: u64) -> Dataset {
+        let (tcfg, rcfg) = preset.configs(seed);
+        let transcriptome = Transcriptome::generate(tcfg);
+        let reference = transcriptome.reference();
+        let expr = ExpressionModel {
+            seed: seed ^ 0xE0E0_E0E0,
+            ..ExpressionModel::default()
+        };
+        let reads = simulate_reads(&reference, &expr, rcfg);
+        Dataset {
+            preset,
+            reads,
+            reference,
+        }
+    }
+
+    /// All reads as FASTA records.
+    pub fn all_reads(&self) -> Vec<Record> {
+        self.reads.all()
+    }
+}
+
+impl DatasetPreset {
+    /// The generator configurations of this preset.
+    pub fn configs(self, seed: u64) -> (TranscriptomeConfig, ReadSimConfig) {
+        match self {
+            DatasetPreset::Tiny => (
+                TranscriptomeConfig {
+                    genes: 8,
+                    exons_per_gene: (2, 4),
+                    exon_len: (80, 200),
+                    isoforms_per_gene: (1, 2),
+                    paralog_fraction: 0.0,
+                    paralog_divergence: 0.03,
+                    seed,
+                },
+                ReadSimConfig {
+                    pairs: 800,
+                    read_len: 36,
+                    insert_mean: 120.0,
+                    insert_sd: 15.0,
+                    error_rate: 0.002,
+                    seed: seed ^ 0xBEEF,
+                },
+            ),
+            DatasetPreset::SugarbeetLike => (
+                TranscriptomeConfig {
+                    genes: 400,
+                    paralog_fraction: 0.3,
+                    paralog_divergence: 0.02,
+                    exons_per_gene: (2, 8),
+                    // Wide log-uniform range: "very wide variation in the
+                    // lengths of reconstructed transcripts" (§V-A) — the
+                    // source of the loop-2 load imbalance.
+                    exon_len: (80, 1200),
+                    isoforms_per_gene: (1, 4),
+                    seed,
+                },
+                ReadSimConfig {
+                    pairs: 30_000,
+                    read_len: 50,
+                    insert_mean: 220.0,
+                    insert_sd: 30.0,
+                    error_rate: 0.005,
+                    seed: seed ^ 0xBEEF,
+                },
+            ),
+            DatasetPreset::WhiteflyLike => (
+                TranscriptomeConfig {
+                    genes: 60,
+                    paralog_fraction: 0.2,
+                    paralog_divergence: 0.03,
+                    exons_per_gene: (2, 5),
+                    exon_len: (100, 600),
+                    isoforms_per_gene: (1, 3),
+                    seed,
+                },
+                ReadSimConfig {
+                    pairs: 6_000,
+                    read_len: 45,
+                    insert_mean: 180.0,
+                    insert_sd: 25.0,
+                    error_rate: 0.004,
+                    seed: seed ^ 0xBEEF,
+                },
+            ),
+            DatasetPreset::SchizoLike => (
+                TranscriptomeConfig {
+                    genes: 90,
+                    paralog_fraction: 0.15,
+                    paralog_divergence: 0.03,
+                    exons_per_gene: (1, 4),
+                    exon_len: (150, 900),
+                    isoforms_per_gene: (1, 2),
+                    seed,
+                },
+                ReadSimConfig {
+                    pairs: 9_000,
+                    read_len: 50,
+                    insert_mean: 200.0,
+                    insert_sd: 25.0,
+                    error_rate: 0.004,
+                    seed: seed ^ 0xBEEF,
+                },
+            ),
+            DatasetPreset::DrosophilaLike => (
+                TranscriptomeConfig {
+                    genes: 130,
+                    paralog_fraction: 0.25,
+                    paralog_divergence: 0.03,
+                    exons_per_gene: (2, 7),
+                    exon_len: (100, 1200),
+                    isoforms_per_gene: (1, 4),
+                    seed,
+                },
+                ReadSimConfig {
+                    pairs: 14_000,
+                    read_len: 50,
+                    insert_mean: 210.0,
+                    insert_sd: 28.0,
+                    error_rate: 0.004,
+                    seed: seed ^ 0xBEEF,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_generates_quickly_and_deterministically() {
+        let a = Dataset::generate(DatasetPreset::Tiny, 1);
+        let b = Dataset::generate(DatasetPreset::Tiny, 1);
+        assert!(!a.reads.is_empty());
+        assert_eq!(a.reads.left, b.reads.left);
+        assert_eq!(a.reference.len(), b.reference.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(DatasetPreset::Tiny, 1);
+        let b = Dataset::generate(DatasetPreset::Tiny, 2);
+        assert_ne!(a.reads.left, b.reads.left);
+    }
+
+    #[test]
+    fn presets_scale_relative_to_each_other() {
+        let whitefly = Dataset::generate(DatasetPreset::WhiteflyLike, 3);
+        let tiny = Dataset::generate(DatasetPreset::Tiny, 3);
+        assert!(whitefly.reads.len() > tiny.reads.len());
+        assert!(whitefly.reference.len() > tiny.reference.len());
+    }
+
+    #[test]
+    fn sugarbeet_has_length_skew() {
+        let d = Dataset::generate(DatasetPreset::SugarbeetLike, 5);
+        let lens: Vec<usize> = d.reference.iter().map(|r| r.seq.len()).collect();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(
+            max as f64 / min as f64 > 8.0,
+            "scaling workload needs heavy length skew (max {max} min {min})"
+        );
+    }
+
+    #[test]
+    fn all_reads_concatenates() {
+        let d = Dataset::generate(DatasetPreset::Tiny, 1);
+        assert_eq!(d.all_reads().len(), d.reads.len());
+    }
+}

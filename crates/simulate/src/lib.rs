@@ -1,0 +1,28 @@
+//! Synthetic RNA-seq data generation.
+//!
+//! The paper benchmarks on proprietary or since-moved datasets (a 130 M-read
+//! sugarbeet RNA-seq set from Rothamsted Research, a whitefly set, and the
+//! Trinity reference sets for *Schizosaccharomyces* and *Drosophila*). None
+//! are available here, so this crate generates synthetic equivalents that
+//! control exactly the properties the evaluation depends on:
+//!
+//! * genes with **alternative splicing** (shared exons between isoforms →
+//!   contigs that share welding subsequences, the thing GraphFromFasta
+//!   clusters on);
+//! * **log-normal expression** (the "very large dynamic range" of §I);
+//! * **heavy-tailed transcript lengths** (the load imbalance the paper
+//!   blames for GraphFromFasta's rank-time spread at 192 nodes);
+//! * **paired-end reads with substitution errors** at configurable depth;
+//! * a ground-truth **reference transcript set** for the Fig. 5/6 counting.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod datasets;
+pub mod expression;
+pub mod reads;
+pub mod transcriptome;
+
+pub use datasets::{Dataset, DatasetPreset};
+pub use expression::ExpressionModel;
+pub use reads::{ReadSimConfig, SimulatedReads};
+pub use transcriptome::{Gene, Isoform, RefSeq, Transcriptome, TranscriptomeConfig};

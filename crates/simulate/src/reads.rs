@@ -1,0 +1,275 @@
+//! Paired-end read simulation with substitution errors.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use seqio::alphabet::revcomp;
+use seqio::fasta::Record;
+
+use crate::expression::ExpressionModel;
+use crate::transcriptome::RefSeq;
+
+/// Read-simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadSimConfig {
+    /// Total read *pairs* to draw (plus single-end reads for transcripts
+    /// shorter than the insert, mirroring the sugarbeet set's mix of
+    /// single-end and paired reads).
+    pub pairs: usize,
+    /// Read length.
+    pub read_len: usize,
+    /// Mean fragment (insert) length.
+    pub insert_mean: f64,
+    /// Fragment length standard deviation.
+    pub insert_sd: f64,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReadSimConfig {
+    fn default() -> Self {
+        ReadSimConfig {
+            pairs: 2000,
+            read_len: 50,
+            insert_mean: 180.0,
+            insert_sd: 20.0,
+            error_rate: 0.005,
+            seed: 7,
+        }
+    }
+}
+
+/// The simulated read set.
+#[derive(Debug, Clone)]
+pub struct SimulatedReads {
+    /// Left mates (`/1`), plus single-end reads from short transcripts.
+    pub left: Vec<Record>,
+    /// Right mates (`/2`), reverse-complemented as sequencers deliver them.
+    pub right: Vec<Record>,
+}
+
+impl SimulatedReads {
+    /// All reads as one flat list (what Jellyfish/Inchworm consume).
+    pub fn all(&self) -> Vec<Record> {
+        let mut v = self.left.clone();
+        v.extend(self.right.iter().cloned());
+        v
+    }
+
+    /// Total read count.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// True if no reads were produced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+fn randn(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+fn apply_errors(seq: &mut [u8], rate: f64, rng: &mut StdRng) {
+    if rate <= 0.0 {
+        return;
+    }
+    for b in seq.iter_mut() {
+        if rng.random::<f64>() < rate {
+            let cur = *b;
+            loop {
+                let nb = BASES[rng.random_range(0..4)];
+                if nb != cur {
+                    *b = nb;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Simulate reads over `reference` with expression levels from `expr`.
+///
+/// Read ids encode the truth (`<isoform>:<pair#>/<mate>`), which the
+/// integration tests use to check read-to-component assignment.
+pub fn simulate_reads(
+    reference: &[RefSeq],
+    expr: &ExpressionModel,
+    cfg: ReadSimConfig,
+) -> SimulatedReads {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let abundances = expr.sample_abundances(reference.len());
+    let counts = expr.read_counts(&abundances, cfg.pairs);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (t, &n) in counts.iter().enumerate() {
+        let seq = &reference[t].seq;
+        if seq.len() < cfg.read_len {
+            continue; // too short to sequence at all
+        }
+        for p in 0..n {
+            let insert = (cfg.insert_mean + cfg.insert_sd * randn(&mut rng))
+                .round()
+                .clamp(cfg.read_len as f64, 10_000.0) as usize;
+            if seq.len() < insert || insert < 2 * cfg.read_len {
+                // Transcript shorter than the fragment: emit a single-end
+                // read (the sugarbeet set mixes single-end and paired).
+                let start = rng.random_range(0..=seq.len() - cfg.read_len);
+                let mut r = seq[start..start + cfg.read_len].to_vec();
+                apply_errors(&mut r, cfg.error_rate, &mut rng);
+                left.push(Record::new(
+                    format!("{}:{}/s", reference[t].isoform, p),
+                    r,
+                ));
+                continue;
+            }
+            let start = rng.random_range(0..=seq.len() - insert);
+            let mut l = seq[start..start + cfg.read_len].to_vec();
+            let mut r = revcomp(&seq[start + insert - cfg.read_len..start + insert]);
+            apply_errors(&mut l, cfg.error_rate, &mut rng);
+            apply_errors(&mut r, cfg.error_rate, &mut rng);
+            left.push(Record::new(
+                format!("{}:{}/1", reference[t].isoform, p),
+                l,
+            ));
+            right.push(Record::new(
+                format!("{}:{}/2", reference[t].isoform, p),
+                r,
+            ));
+        }
+    }
+    SimulatedReads { left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transcriptome::{Transcriptome, TranscriptomeConfig};
+
+    fn reference() -> Vec<RefSeq> {
+        Transcriptome::generate(TranscriptomeConfig {
+            genes: 10,
+            exon_len: (200, 400),
+            ..Default::default()
+        })
+        .reference()
+    }
+
+    fn cfg() -> ReadSimConfig {
+        ReadSimConfig {
+            pairs: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_reads_of_right_length() {
+        let reads = simulate_reads(&reference(), &ExpressionModel::default(), cfg());
+        assert!(!reads.is_empty());
+        for r in reads.all() {
+            assert_eq!(r.seq.len(), 50);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_reads(&reference(), &ExpressionModel::default(), cfg());
+        let b = simulate_reads(&reference(), &ExpressionModel::default(), cfg());
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+    }
+
+    #[test]
+    fn error_free_reads_are_substrings() {
+        let reference = reference();
+        let reads = simulate_reads(
+            &reference,
+            &ExpressionModel::default(),
+            ReadSimConfig {
+                error_rate: 0.0,
+                pairs: 200,
+                ..cfg()
+            },
+        );
+        for r in &reads.left {
+            let iso = r.id.split(':').next().unwrap();
+            let src = reference.iter().find(|t| t.isoform == iso).unwrap();
+            let found = src
+                .seq
+                .windows(r.seq.len())
+                .any(|w| w == r.seq.as_slice());
+            assert!(found, "left read {} not a substring", r.id);
+        }
+        for r in &reads.right {
+            let iso = r.id.split(':').next().unwrap();
+            let src = reference.iter().find(|t| t.isoform == iso).unwrap();
+            let rc = revcomp(&r.seq);
+            let found = src.seq.windows(rc.len()).any(|w| w == rc.as_slice());
+            assert!(found, "right read {} not an rc-substring", r.id);
+        }
+    }
+
+    #[test]
+    fn errors_change_some_bases() {
+        let clean = simulate_reads(
+            &reference(),
+            &ExpressionModel::default(),
+            ReadSimConfig {
+                error_rate: 0.0,
+                ..cfg()
+            },
+        );
+        let noisy = simulate_reads(
+            &reference(),
+            &ExpressionModel::default(),
+            ReadSimConfig {
+                error_rate: 0.05,
+                ..cfg()
+            },
+        );
+        let diff: usize = clean
+            .left
+            .iter()
+            .zip(&noisy.left)
+            .map(|(a, b)| a.seq.iter().zip(&b.seq).filter(|(x, y)| x != y).count())
+            .sum();
+        assert!(diff > 0, "5% error rate must flip some bases");
+    }
+
+    #[test]
+    fn pair_counts_respected() {
+        let reads = simulate_reads(&reference(), &ExpressionModel::default(), cfg());
+        // pairs + single-end fallbacks: left >= right, total pairs == cfg.
+        assert!(reads.left.len() >= reads.right.len());
+        assert_eq!(reads.left.len(), 500);
+    }
+
+    #[test]
+    fn ids_encode_truth() {
+        let reads = simulate_reads(&reference(), &ExpressionModel::default(), cfg());
+        for r in &reads.left {
+            assert!(r.id.contains(':') && (r.id.ends_with("/1") || r.id.ends_with("/s")));
+        }
+        for r in &reads.right {
+            assert!(r.id.ends_with("/2"));
+        }
+    }
+
+    #[test]
+    fn empty_reference_is_empty() {
+        let reads = simulate_reads(&[], &ExpressionModel::default(), cfg());
+        assert!(reads.is_empty());
+    }
+}

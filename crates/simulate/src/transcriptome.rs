@@ -1,0 +1,378 @@
+//! Synthetic transcriptome: genes, exons and alternatively spliced isoforms.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// One isoform of a gene: a subset of its exons, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Isoform {
+    /// Isoform id, unique within the transcriptome (e.g. `g12.i1`).
+    pub id: String,
+    /// Indices of the gene's exons included by this isoform.
+    pub exons: Vec<usize>,
+}
+
+/// One gene: a set of exon sequences and the isoforms spliced from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gene {
+    /// Gene id (e.g. `g12`).
+    pub id: String,
+    /// Exon sequences.
+    pub exons: Vec<Vec<u8>>,
+    /// Isoforms; the first always includes every exon (the "canonical"
+    /// transcript), later ones skip internal exons.
+    pub isoforms: Vec<Isoform>,
+}
+
+impl Gene {
+    /// Spell the transcript sequence of isoform `i`.
+    pub fn transcript(&self, i: usize) -> Vec<u8> {
+        let iso = &self.isoforms[i];
+        let total: usize = iso.exons.iter().map(|&e| self.exons[e].len()).sum();
+        let mut seq = Vec::with_capacity(total);
+        for &e in &iso.exons {
+            seq.extend_from_slice(&self.exons[e]);
+        }
+        seq
+    }
+}
+
+/// A flattened reference transcript (the ground truth for Figs. 5–6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefSeq {
+    /// Owning gene id.
+    pub gene: String,
+    /// Isoform id.
+    pub isoform: String,
+    /// Transcript sequence.
+    pub seq: Vec<u8>,
+}
+
+/// Parameters of the transcriptome generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TranscriptomeConfig {
+    /// Number of genes.
+    pub genes: usize,
+    /// Exons per gene: uniform in `[min, max]`.
+    pub exons_per_gene: (usize, usize),
+    /// Exon length: log-uniform-ish in `[min, max]` (heavy tail comes from
+    /// the max being much larger than the median).
+    pub exon_len: (usize, usize),
+    /// Isoforms per gene: uniform in `[min, max]` (min ≥ 1).
+    pub isoforms_per_gene: (usize, usize),
+    /// Fraction of genes generated as *paralogs*: diverged copies of an
+    /// earlier gene. Paralog families share long exact stretches, which is
+    /// what makes contigs share seeds and GraphFromFasta expensive — real
+    /// transcriptomes are full of them.
+    pub paralog_fraction: f64,
+    /// Per-base substitution rate applied to paralog copies.
+    pub paralog_divergence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TranscriptomeConfig {
+    fn default() -> Self {
+        TranscriptomeConfig {
+            genes: 50,
+            exons_per_gene: (2, 6),
+            exon_len: (100, 400),
+            isoforms_per_gene: (1, 3),
+            paralog_fraction: 0.0,
+            paralog_divergence: 0.03,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated transcriptome.
+#[derive(Debug, Clone)]
+pub struct Transcriptome {
+    /// All genes.
+    pub genes: Vec<Gene>,
+}
+
+impl Transcriptome {
+    /// Generate per `cfg` (deterministic in the seed).
+    pub fn generate(cfg: TranscriptomeConfig) -> Self {
+        assert!(cfg.exons_per_gene.0 >= 1 && cfg.exons_per_gene.0 <= cfg.exons_per_gene.1);
+        assert!(cfg.exon_len.0 >= 1 && cfg.exon_len.0 <= cfg.exon_len.1);
+        assert!(cfg.isoforms_per_gene.0 >= 1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut genes: Vec<Gene> = Vec::with_capacity(cfg.genes);
+        for g in 0..cfg.genes {
+            // Paralogs: copy an earlier gene's exons with substitutions.
+            if !genes.is_empty() && rng.random::<f64>() < cfg.paralog_fraction {
+                let src = rng.random_range(0..genes.len());
+                let exons: Vec<Vec<u8>> = genes[src]
+                    .exons
+                    .iter()
+                    .map(|e| mutate(&mut rng, e, cfg.paralog_divergence))
+                    .collect();
+                let n_exons = exons.len();
+                let isoforms = vec![Isoform {
+                    id: format!("g{g}.i0"),
+                    exons: (0..n_exons).collect(),
+                }];
+                genes.push(Gene {
+                    id: format!("g{g}"),
+                    exons,
+                    isoforms,
+                });
+                continue;
+            }
+            let n_exons = rng.random_range(cfg.exons_per_gene.0..=cfg.exons_per_gene.1);
+            // Log-uniform exon lengths give the heavy-tailed transcript
+            // length distribution the paper's load-imbalance discussion
+            // depends on.
+            let exons: Vec<Vec<u8>> = (0..n_exons)
+                .map(|_| {
+                    let lo = (cfg.exon_len.0 as f64).ln();
+                    let hi = (cfg.exon_len.1 as f64).ln();
+                    let len = (lo + (hi - lo) * rng.random::<f64>()).exp().round() as usize;
+                    random_dna(&mut rng, len.clamp(cfg.exon_len.0, cfg.exon_len.1))
+                })
+                .collect();
+
+            let max_iso = cfg.isoforms_per_gene.1.min(1 + n_exons.saturating_sub(2));
+            let n_iso = if max_iso <= cfg.isoforms_per_gene.0 {
+                cfg.isoforms_per_gene.0
+            } else {
+                rng.random_range(cfg.isoforms_per_gene.0..=max_iso)
+            };
+            let mut isoforms = vec![Isoform {
+                id: format!("g{g}.i0"),
+                exons: (0..n_exons).collect(),
+            }];
+            // Alternative isoforms skip one distinct internal exon each.
+            let mut skippable: Vec<usize> = (1..n_exons.saturating_sub(1)).collect();
+            for i in 1..n_iso {
+                if skippable.is_empty() {
+                    break;
+                }
+                let pick = rng.random_range(0..skippable.len());
+                let skip = skippable.swap_remove(pick);
+                isoforms.push(Isoform {
+                    id: format!("g{g}.i{i}"),
+                    exons: (0..n_exons).filter(|&e| e != skip).collect(),
+                });
+            }
+            genes.push(Gene {
+                id: format!("g{g}"),
+                exons,
+                isoforms,
+            });
+        }
+        Transcriptome { genes }
+    }
+
+    /// Total number of isoforms.
+    pub fn isoform_count(&self) -> usize {
+        self.genes.iter().map(|g| g.isoforms.len()).sum()
+    }
+
+    /// Flatten into reference transcripts.
+    pub fn reference(&self) -> Vec<RefSeq> {
+        let mut out = Vec::with_capacity(self.isoform_count());
+        for g in &self.genes {
+            for (i, iso) in g.isoforms.iter().enumerate() {
+                out.push(RefSeq {
+                    gene: g.id.clone(),
+                    isoform: iso.id.clone(),
+                    seq: g.transcript(i),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Uniform random DNA of length `len`.
+pub fn random_dna(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| BASES[rng.random_range(0..4)]).collect()
+}
+
+/// Copy `seq` with substitutions at `rate` per base.
+pub fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
+    seq.iter()
+        .map(|&b| {
+            if rng.random::<f64>() < rate {
+                loop {
+                    let nb = BASES[rng.random_range(0..4)];
+                    if nb != b {
+                        break nb;
+                    }
+                }
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Transcriptome::generate(TranscriptomeConfig::default());
+        let b = Transcriptome::generate(TranscriptomeConfig::default());
+        assert_eq!(a.genes, b.genes);
+        let c = Transcriptome::generate(TranscriptomeConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a.genes, c.genes);
+    }
+
+    #[test]
+    fn respects_gene_count() {
+        let t = Transcriptome::generate(TranscriptomeConfig {
+            genes: 13,
+            ..Default::default()
+        });
+        assert_eq!(t.genes.len(), 13);
+        assert!(t.isoform_count() >= 13);
+    }
+
+    #[test]
+    fn canonical_isoform_has_all_exons() {
+        let t = Transcriptome::generate(TranscriptomeConfig::default());
+        for g in &t.genes {
+            assert_eq!(g.isoforms[0].exons.len(), g.exons.len());
+            let full: usize = g.exons.iter().map(Vec::len).sum();
+            assert_eq!(g.transcript(0).len(), full);
+        }
+    }
+
+    #[test]
+    fn alternative_isoforms_skip_internal_exons() {
+        let t = Transcriptome::generate(TranscriptomeConfig {
+            genes: 40,
+            exons_per_gene: (4, 6),
+            isoforms_per_gene: (2, 3),
+            ..Default::default()
+        });
+        let mut saw_alternative = false;
+        for g in &t.genes {
+            for iso in &g.isoforms[1..] {
+                saw_alternative = true;
+                // Skips exactly one exon, never the first or last.
+                assert_eq!(iso.exons.len(), g.exons.len() - 1);
+                assert!(iso.exons.contains(&0));
+                assert!(iso.exons.contains(&(g.exons.len() - 1)));
+                // Exons stay ordered.
+                assert!(iso.exons.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        assert!(saw_alternative);
+    }
+
+    #[test]
+    fn exon_lengths_in_bounds() {
+        let cfg = TranscriptomeConfig {
+            exon_len: (50, 200),
+            ..Default::default()
+        };
+        let t = Transcriptome::generate(cfg);
+        for g in &t.genes {
+            for e in &g.exons {
+                assert!((50..=200).contains(&e.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn reference_matches_transcripts() {
+        let t = Transcriptome::generate(TranscriptomeConfig::default());
+        let refs = t.reference();
+        assert_eq!(refs.len(), t.isoform_count());
+        assert_eq!(refs[0].seq, t.genes[0].transcript(0));
+        // Isoform ids are unique.
+        let ids: std::collections::HashSet<&str> =
+            refs.iter().map(|r| r.isoform.as_str()).collect();
+        assert_eq!(ids.len(), refs.len());
+    }
+
+    #[test]
+    fn random_dna_is_dna() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_dna(&mut rng, 500);
+        assert_eq!(s.len(), 500);
+        assert!(s.iter().all(|b| BASES.contains(b)));
+    }
+}
+
+#[cfg(test)]
+mod paralog_tests {
+    use super::*;
+
+    fn cfg(frac: f64) -> TranscriptomeConfig {
+        TranscriptomeConfig {
+            genes: 40,
+            paralog_fraction: frac,
+            paralog_divergence: 0.03,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn zero_fraction_means_no_paralogs() {
+        let a = Transcriptome::generate(cfg(0.0));
+        let b = Transcriptome::generate(TranscriptomeConfig {
+            genes: 40,
+            ..Default::default()
+        });
+        assert_eq!(a.genes, b.genes);
+    }
+
+    #[test]
+    fn paralogs_share_long_exact_stretches() {
+        let t = Transcriptome::generate(cfg(0.5));
+        // Find at least one pair of genes sharing a 40-base exact window.
+        let mut found = false;
+        'outer: for i in 0..t.genes.len() {
+            for j in i + 1..t.genes.len() {
+                let a = t.genes[i].transcript(0);
+                let b = t.genes[j].transcript(0);
+                if a.len() < 40 || b.len() < 40 {
+                    continue;
+                }
+                let windows: std::collections::HashSet<&[u8]> =
+                    a.windows(40).step_by(7).collect();
+                if b.windows(40).any(|w| windows.contains(w)) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "50% paralog fraction must create shared stretches");
+    }
+
+    #[test]
+    fn paralogs_are_not_identical() {
+        let t = Transcriptome::generate(cfg(1.0));
+        // Every gene after the first is a paralog of an earlier one, but
+        // divergence must have changed it.
+        let firsts: Vec<Vec<u8>> = t.genes.iter().map(|g| g.transcript(0)).collect();
+        for (i, a) in firsts.iter().enumerate() {
+            for b in firsts.iter().skip(i + 1) {
+                assert_ne!(a, b, "paralogs must diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_respects_rate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let seq = random_dna(&mut rng, 10_000);
+        let zero = mutate(&mut rng, &seq, 0.0);
+        assert_eq!(zero, seq);
+        let heavy = mutate(&mut rng, &seq, 0.5);
+        let diff = seq.iter().zip(&heavy).filter(|(a, b)| a != b).count();
+        assert!((3000..7000).contains(&diff), "≈50% substitutions, got {diff}");
+    }
+}

@@ -1,0 +1,204 @@
+//! `trinity` — the pipeline driver binary (the `Trinity.pl` equivalent).
+//!
+//! ```text
+//! trinity --reads reads.fa [--reads more.fa] --out outdir \
+//!         [--nprocs N] [--threads T] [--kmer K] [--simulate PRESET[:SEED]]
+//! ```
+//!
+//! Reads FASTA (or FASTQ; detected by the first byte), runs
+//! Jellyfish → Inchworm → Chrysalis → Butterfly, and writes into `--out`:
+//! `inchworm.fasta`, `components.txt`, `read_assignments.txt`,
+//! `transcripts.fasta` and `collectl.txt`. `--nprocs` is the paper's
+//! extension: with `N > 1` Chrysalis runs in the hybrid MPI+OpenMP layout
+//! over `N` simulated ranks.
+//!
+//! `--simulate tiny:7` generates a synthetic dataset instead of reading
+//! files (handy for smoke tests; see `simulate::datasets`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mpisim::NetModel;
+use seqio::fasta::{FastaReader, FastaWriter, Record};
+use seqio::fastq::FastqReader;
+use seqio::stats::length_stats;
+use simulate::datasets::{Dataset, DatasetPreset};
+use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode};
+use trinity::report::{render_bars, render_trace};
+
+struct Args {
+    reads: Vec<PathBuf>,
+    out: PathBuf,
+    nprocs: usize,
+    threads: usize,
+    k: usize,
+    simulate: Option<(DatasetPreset, u64)>,
+}
+
+fn usage() -> &'static str {
+    "usage: trinity --reads <fasta|fastq>... --out <dir> \
+     [--nprocs N] [--threads T] [--kmer K] [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        reads: Vec::new(),
+        out: PathBuf::from("trinity_out"),
+        nprocs: 1,
+        threads: 16,
+        k: 16,
+        simulate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--reads" => args.reads.push(PathBuf::from(value("--reads")?)),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--nprocs" => {
+                args.nprocs = value("--nprocs")?
+                    .parse()
+                    .map_err(|e| format!("--nprocs: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--kmer" => {
+                args.k = value("--kmer")?
+                    .parse()
+                    .map_err(|e| format!("--kmer: {e}"))?
+            }
+            "--simulate" => {
+                let v = value("--simulate")?;
+                let (name, seed) = v.split_once(':').unwrap_or((v.as_str(), "42"));
+                let preset = match name {
+                    "tiny" => DatasetPreset::Tiny,
+                    "whitefly" => DatasetPreset::WhiteflyLike,
+                    "schizo" => DatasetPreset::SchizoLike,
+                    "drosophila" => DatasetPreset::DrosophilaLike,
+                    "sugarbeet" => DatasetPreset::SugarbeetLike,
+                    other => return Err(format!("unknown preset {other:?}\n{}", usage())),
+                };
+                let seed = seed.parse().map_err(|e| format!("--simulate seed: {e}"))?;
+                args.simulate = Some((preset, seed));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if args.reads.is_empty() && args.simulate.is_none() {
+        return Err(format!("no input: pass --reads or --simulate\n{}", usage()));
+    }
+    if args.k < 8 || args.k > 32 {
+        return Err("--kmer must be in 8..=32".into());
+    }
+    Ok(args)
+}
+
+fn load_reads(path: &Path) -> Result<Vec<Record>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    match bytes.first() {
+        Some(b'>') => seqio::fasta::parse_fasta(&bytes).map_err(|e| e.to_string()),
+        Some(b'@') => FastqReader::new(&bytes[..])
+            .read_all()
+            .map(|v| v.into_iter().map(|r| r.into_fasta()).collect())
+            .map_err(|e| e.to_string()),
+        _ => Err(format!("{}: not FASTA or FASTQ", path.display())),
+    }
+}
+
+fn write_fasta(path: &Path, records: &[Record]) -> Result<(), String> {
+    let mut w = FastaWriter::create(path).map_err(|e| e.to_string())?;
+    for r in records {
+        w.write_record(r).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut reads = Vec::new();
+    if let Some((preset, seed)) = args.simulate {
+        let ds = Dataset::generate(preset, seed);
+        eprintln!(
+            "simulated {:?} (seed {seed}): {} reads, {} reference isoforms",
+            preset,
+            ds.all_reads().len(),
+            ds.reference.len()
+        );
+        reads = ds.all_reads();
+    }
+    for p in &args.reads {
+        let mut r = load_reads(p)?;
+        eprintln!("{}: {} reads", p.display(), r.len());
+        reads.append(&mut r);
+    }
+    if reads.is_empty() {
+        return Err("no reads in input".into());
+    }
+
+    let mut cfg = PipelineConfig::small(args.k);
+    cfg.chrysalis.threads = args.threads.max(1);
+    cfg.mode = if args.nprocs > 1 {
+        PipelineMode::Hybrid {
+            ranks: args.nprocs,
+            net: NetModel::idataplex(),
+        }
+    } else {
+        PipelineMode::Serial
+    };
+
+    let out = run_pipeline(&reads, &cfg);
+
+    std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+    write_fasta(&args.out.join("inchworm.fasta"), &out.contigs)?;
+    write_fasta(&args.out.join("transcripts.fasta"), &out.transcripts)?;
+
+    let mut f = std::fs::File::create(args.out.join("components.txt"))
+        .map_err(|e| e.to_string())?;
+    for (c, members) in out.components.iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&m| out.contigs[m].id.as_str()).collect();
+        writeln!(f, "comp{c}\t{}", names.join(",")).map_err(|e| e.to_string())?;
+    }
+    let mut f = std::fs::File::create(args.out.join("read_assignments.txt"))
+        .map_err(|e| e.to_string())?;
+    for &(r, c) in &out.assignments {
+        writeln!(f, "{}\tcomp{c}", reads[r as usize].id).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(
+        args.out.join("collectl.txt"),
+        format!("{}\n{}", render_trace(&out.trace), render_bars(&out.trace, 50)),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let tx = length_stats(out.transcripts.iter().map(|t| t.seq.len()));
+    eprintln!(
+        "wrote {} -> {} contigs, {} components, {} transcripts (N50 {} bp); \
+         virtual pipeline time {:.3}s ({} ranks x {} threads)",
+        args.out.display(),
+        out.contigs.len(),
+        out.components.len(),
+        tx.count,
+        tx.n50,
+        out.trace.total_time(),
+        args.nprocs,
+        cfg.chrysalis.threads,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

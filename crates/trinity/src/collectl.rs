@@ -1,0 +1,169 @@
+//! Collectl-style stage tracing: runtime and modelled RAM per stage.
+//!
+//! The paper instruments Trinity with the Collectl tool and plots RAM
+//! against runtime (Figs. 2 and 11). We record the same series: each stage
+//! contributes an interval on the virtual-time axis and a resident-set
+//! estimate derived from the sizes of the structures it actually holds.
+
+/// One pipeline stage's interval and memory footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (Jellyfish, Inchworm, Bowtie, GraphFromFasta, …).
+    pub name: String,
+    /// Stage start on the virtual-time axis, seconds.
+    pub start: f64,
+    /// Stage end, seconds.
+    pub end: f64,
+    /// Estimated peak resident set during the stage, bytes.
+    pub peak_ram: u64,
+}
+
+impl StageReport {
+    /// Stage duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The whole trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectlTrace {
+    /// Stages in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl CollectlTrace {
+    /// Append a stage starting where the previous one ended.
+    pub fn push(&mut self, name: impl Into<String>, duration: f64, peak_ram: u64) {
+        let start = self.stages.last().map(|s| s.end).unwrap_or(0.0);
+        self.stages.push(StageReport {
+            name: name.into(),
+            start,
+            end: start + duration.max(0.0),
+            peak_ram,
+        });
+    }
+
+    /// Total pipeline runtime.
+    pub fn total_time(&self) -> f64 {
+        self.stages.last().map(|s| s.end).unwrap_or(0.0)
+    }
+
+    /// Peak RAM across stages.
+    pub fn peak_ram(&self) -> u64 {
+        self.stages.iter().map(|s| s.peak_ram).max().unwrap_or(0)
+    }
+
+    /// The stage holding the largest share of the runtime.
+    pub fn dominant_stage(&self) -> Option<&StageReport> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.duration().partial_cmp(&b.duration()).expect("finite"))
+    }
+
+    /// Sample the trace as `(time, ram)` step points for plotting.
+    pub fn ram_series(&self) -> Vec<(f64, u64)> {
+        let mut pts = Vec::with_capacity(self.stages.len() * 2);
+        for s in &self.stages {
+            pts.push((s.start, s.peak_ram));
+            pts.push((s.end, s.peak_ram));
+        }
+        pts
+    }
+}
+
+/// Rough resident-set model for the pipeline's data structures. The
+/// coefficients are hash-map-overhead multipliers, not exact science —
+/// the *shape* (Jellyfish/Inchworm dominate memory, Chrysalis dominates
+/// time) is what Figs. 2/11 show.
+pub mod ram {
+    /// Jellyfish: distinct k-mers × (key + count + table overhead).
+    pub fn jellyfish(distinct_kmers: usize) -> u64 {
+        (distinct_kmers as u64) * 48
+    }
+
+    /// Inchworm: the dictionary (sorted vec + hash) plus contig text.
+    pub fn inchworm(distinct_kmers: usize, contig_bytes: usize) -> u64 {
+        (distinct_kmers as u64) * 64 + contig_bytes as u64
+    }
+
+    /// Bowtie: FM-index ≈ 6 bytes per reference base (SA + BWT + Occ)
+    /// plus the read stream buffer.
+    pub fn bowtie(ref_bases: usize, read_buffer: usize) -> u64 {
+        (ref_bases as u64) * 6 + read_buffer as u64
+    }
+
+    /// GraphFromFasta: contigs + k-mer map + welds.
+    pub fn graph_from_fasta(contig_bytes: usize, kmer_entries: usize, weld_bytes: usize) -> u64 {
+        contig_bytes as u64 + (kmer_entries as u64) * 56 + weld_bytes as u64
+    }
+
+    /// ReadsToTranscripts: k-mer→component table + one chunk of reads.
+    pub fn reads_to_transcripts(kmer_entries: usize, chunk_bytes: usize) -> u64 {
+        (kmer_entries as u64) * 40 + chunk_bytes as u64
+    }
+
+    /// Butterfly: graph nodes/edges per component (peak over components).
+    pub fn butterfly(max_component_nodes: usize) -> u64 {
+        (max_component_nodes as u64) * 96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_contiguous() {
+        let mut t = CollectlTrace::default();
+        t.push("a", 2.0, 100);
+        t.push("b", 3.0, 50);
+        assert_eq!(t.stages[0].start, 0.0);
+        assert_eq!(t.stages[0].end, 2.0);
+        assert_eq!(t.stages[1].start, 2.0);
+        assert_eq!(t.total_time(), 5.0);
+        assert_eq!(t.peak_ram(), 100);
+    }
+
+    #[test]
+    fn dominant_stage() {
+        let mut t = CollectlTrace::default();
+        t.push("short", 1.0, 10);
+        t.push("long", 9.0, 5);
+        assert_eq!(t.dominant_stage().unwrap().name, "long");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = CollectlTrace::default();
+        assert_eq!(t.total_time(), 0.0);
+        assert_eq!(t.peak_ram(), 0);
+        assert!(t.dominant_stage().is_none());
+        assert!(t.ram_series().is_empty());
+    }
+
+    #[test]
+    fn negative_duration_clamped() {
+        let mut t = CollectlTrace::default();
+        t.push("x", -1.0, 1);
+        assert_eq!(t.total_time(), 0.0);
+    }
+
+    #[test]
+    fn ram_series_steps() {
+        let mut t = CollectlTrace::default();
+        t.push("a", 1.0, 7);
+        let pts = t.ram_series();
+        assert_eq!(pts, vec![(0.0, 7), (1.0, 7)]);
+    }
+
+    #[test]
+    fn ram_models_scale() {
+        assert!(ram::jellyfish(1000) > ram::jellyfish(10));
+        assert!(ram::inchworm(1000, 50) > ram::jellyfish(1000));
+        assert!(ram::bowtie(10_000, 0) > 0);
+        assert!(ram::butterfly(10) > 0);
+        assert!(ram::graph_from_fasta(10, 10, 10) > 0);
+        assert!(ram::reads_to_transcripts(10, 10) > 0);
+    }
+}

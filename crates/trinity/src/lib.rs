@@ -1,0 +1,14 @@
+//! The Trinity pipeline driver.
+//!
+//! Equivalent of `Trinity.pl`: runs Jellyfish → Inchworm → Chrysalis →
+//! Butterfly over a read set, in the original single-node layout or with
+//! the paper's hybrid MPI+OpenMP Chrysalis (`--nprocs`, §III-C's extended
+//! command line). [`collectl`] records the per-stage runtime/RAM trace that
+//! Figs. 2 and 11 plot; [`report`] renders it.
+
+pub mod collectl;
+pub mod pipeline;
+pub mod report;
+
+pub use collectl::{CollectlTrace, StageReport};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineMode, PipelineOutput};

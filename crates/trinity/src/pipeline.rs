@@ -1,0 +1,390 @@
+//! The end-to-end Trinity pipeline.
+
+use std::sync::Arc;
+
+use seqio::fasta::Record;
+
+use bowtie::align::AlignConfig;
+use butterfly::transcripts::{reconstruct_component, ComponentInput, ReconstructionConfig};
+use chrysalis::bowtie_mpi::{bowtie_mpi, contig_name_index, BowtieMpiOutput, BowtieTimings};
+use chrysalis::config::ChrysalisConfig;
+use chrysalis::graph_from_fasta::{cluster, gff_hybrid, gff_shared_memory, GffOutput, GffShared};
+use chrysalis::reads_to_transcripts::{rtt_hybrid, rtt_shared_memory, RttOutput, RttShared};
+use chrysalis::scaffold::{scaffold_pairs, ScaffoldConfig};
+use chrysalis::timings::{GffTimings, RttTimings};
+use inchworm::assemble::{assemble, InchwormConfig};
+use inchworm::dictionary::Dictionary;
+use kcount::counter::{count_kmers, CounterConfig};
+use mpisim::{run_cluster, NetModel};
+use omp::makespan::simulate_loop;
+use omp::pool::parallel_map_timed;
+
+use crate::collectl::{ram, CollectlTrace};
+
+/// Serial (single-node OpenMP) or hybrid (MPI+OpenMP) execution.
+#[derive(Debug, Clone, Copy)]
+pub enum PipelineMode {
+    /// The original Trinity layout: one node, OpenMP threads.
+    Serial,
+    /// The paper's layout: `ranks` nodes, 16 threads each.
+    Hybrid {
+        /// MPI ranks (nodes).
+        ranks: usize,
+        /// Interconnect model.
+        net: NetModel,
+    },
+}
+
+/// Pipeline parameters (the `Trinity.pl` command line).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Chrysalis parameters (k, threads, schedule, chunking …).
+    pub chrysalis: ChrysalisConfig,
+    /// Inchworm parameters.
+    pub inchworm: InchwormConfig,
+    /// Jellyfish minimum k-mer count (error filter).
+    pub min_kmer_count: u32,
+    /// Butterfly parameters.
+    pub reconstruction: ReconstructionConfig,
+    /// Bowtie parameters.
+    pub align: AlignConfig,
+    /// Scaffolding parameters.
+    pub scaffold: ScaffoldConfig,
+    /// Execution mode.
+    pub mode: PipelineMode,
+}
+
+impl PipelineConfig {
+    /// A small-k configuration suitable for tests and examples.
+    pub fn small(k: usize) -> Self {
+        let chrysalis = ChrysalisConfig::small(k);
+        PipelineConfig {
+            chrysalis,
+            inchworm: InchwormConfig {
+                min_seed_count: 1,
+                min_extend_count: 1,
+                min_contig_len: 2 * k,
+                jitter_seed: None,
+            },
+            min_kmer_count: 1,
+            reconstruction: ReconstructionConfig {
+                k,
+                paths: butterfly::paths::PathConfig {
+                    min_len: 2 * k,
+                    ..Default::default()
+                },
+                // Prune weight-1 edges: a single erroneous read cannot open
+                // an isoform bubble (contigs thread at weight 2).
+                min_edge_weight: 2,
+                ..Default::default()
+            },
+            align: AlignConfig {
+                max_mismatches: 1,
+                ..Default::default()
+            },
+            scaffold: ScaffoldConfig::default(),
+            mode: PipelineMode::Serial,
+        }
+    }
+
+    /// The paper's production-style configuration at word size `k`.
+    pub fn paper(k: usize) -> Self {
+        let mut cfg = Self::small(k);
+        cfg.chrysalis = ChrysalisConfig {
+            k,
+            ..ChrysalisConfig::default()
+        };
+        cfg.inchworm.min_seed_count = 2;
+        cfg.min_kmer_count = 1;
+        cfg
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Inchworm contigs.
+    pub contigs: Vec<Record>,
+    /// Final components (contig indices per component, after welding and
+    /// scaffolding).
+    pub components: Vec<Vec<usize>>,
+    /// Read→component assignments.
+    pub assignments: Vec<(u32, u32)>,
+    /// Reconstructed transcripts.
+    pub transcripts: Vec<Record>,
+    /// Stage trace (virtual time + modelled RAM), Figs. 2/11.
+    pub trace: CollectlTrace,
+    /// Per-rank GraphFromFasta timings (one entry in serial mode).
+    pub gff_timings: Vec<GffTimings>,
+    /// Per-rank ReadsToTranscripts timings.
+    pub rtt_timings: Vec<RttTimings>,
+    /// Per-rank Bowtie timings.
+    pub bowtie_timings: Vec<BowtieTimings>,
+}
+
+fn max_time<T>(outs: &[mpisim::RankOutput<T>]) -> f64 {
+    outs.iter().map(|o| o.time).fold(0.0, f64::max)
+}
+
+/// Run the pipeline over `reads`.
+pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
+    let mut trace = CollectlTrace::default();
+    let k = cfg.chrysalis.k;
+
+    // ---- Jellyfish ----
+    // Counting is embarrassingly parallel over read batches (Jellyfish's
+    // lock-free table); time per-batch costs and replay the 16-thread
+    // makespan, then merge serially (measured).
+    let batches: Vec<&[Record]> = reads.chunks(256).collect();
+    let (tables, costs) = parallel_map_timed(&batches, |batch| {
+        count_kmers(
+            batch,
+            CounterConfig {
+                k,
+                canonical: true,
+                threads: 1,
+                shards: 1,
+            },
+        )
+    });
+    let count_time = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule).makespan;
+    let t0 = std::time::Instant::now();
+    let mut counts = kcount::counter::KmerCounts::empty(k);
+    for t in tables {
+        for (km, c) in t.iter() {
+            counts.add(km, c);
+        }
+    }
+    counts.retain_min(cfg.min_kmer_count.max(1));
+    let merge_time = t0.elapsed().as_secs_f64();
+    let distinct = counts.len();
+    trace.push("Jellyfish", count_time + merge_time, ram::jellyfish(distinct));
+
+    // ---- Inchworm ----
+    let t0 = std::time::Instant::now();
+    let dict = Dictionary::from_counts(counts.clone(), cfg.min_kmer_count.max(1));
+    let contig_list = assemble(&dict, cfg.inchworm);
+    let contigs: Vec<Record> = contig_list.iter().map(|c| c.to_record()).collect();
+    let contig_bytes: usize = contigs.iter().map(|c| c.seq.len()).sum();
+    trace.push(
+        "Inchworm",
+        t0.elapsed().as_secs_f64(),
+        ram::inchworm(distinct, contig_bytes),
+    );
+
+    // ---- Chrysalis: Bowtie ----
+    let (ranks, net) = match cfg.mode {
+        PipelineMode::Serial => (1, NetModel::ideal()),
+        PipelineMode::Hybrid { ranks, net } => (ranks, net),
+    };
+    let contigs_arc = Arc::new(contigs);
+    let reads_arc = Arc::new(reads.to_vec());
+    let (c_arc, r_arc, ch_cfg, al_cfg) =
+        (Arc::clone(&contigs_arc), Arc::clone(&reads_arc), cfg.chrysalis, cfg.align);
+    let bowtie_outs = run_cluster(ranks, net, move |comm| {
+        bowtie_mpi(comm, &c_arc, &r_arc, &ch_cfg, al_cfg)
+    });
+    let bowtie_out: &BowtieMpiOutput = &bowtie_outs[0].value;
+    let read_buffer: usize = reads.iter().map(|r| r.seq.len()).sum();
+    trace.push(
+        "Bowtie",
+        max_time(&bowtie_outs),
+        ram::bowtie(contig_bytes.div_ceil(ranks), read_buffer),
+    );
+    let bowtie_timings: Vec<BowtieTimings> =
+        bowtie_outs.iter().map(|o| o.value.timings).collect();
+    let sam = bowtie_out.sam.clone();
+
+    // ---- Chrysalis: GraphFromFasta ----
+    let gff_shared = Arc::new(GffShared::prepare(
+        contigs_arc.as_ref().clone(),
+        counts,
+        cfg.chrysalis,
+    ));
+    let (gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) =
+        if ranks == 1 {
+            let out = gff_shared_memory(&gff_shared);
+            let t = out.timings;
+            let total = t.total;
+            (out, vec![t], total)
+        } else {
+            let sh = Arc::clone(&gff_shared);
+            let outs = run_cluster(ranks, net, move |comm| gff_hybrid(comm, &sh));
+            let timings: Vec<GffTimings> = outs.iter().map(|o| o.value.timings).collect();
+            let time = max_time(&outs);
+            (outs.into_iter().next().expect("rank 0").value, timings, time)
+        };
+    let weld_bytes: usize = gff_out.welds.iter().map(Vec::len).sum();
+    trace.push(
+        "GraphFromFasta",
+        gff_time,
+        ram::graph_from_fasta(contig_bytes, gff_shared.kmap.len(), weld_bytes),
+    );
+
+    // ---- Chrysalis: scaffolding (combine Bowtie links with welds) ----
+    let t0 = std::time::Instant::now();
+    let name_index = contig_name_index(&contigs_arc);
+    let lens: Vec<usize> = contigs_arc.iter().map(|c| c.seq.len()).collect();
+    let scaf_pairs = scaffold_pairs(&sam, &name_index, &lens, cfg.scaffold);
+    let mut all_pairs = gff_out.pairs.clone();
+    all_pairs.extend(scaf_pairs);
+    all_pairs.sort_unstable();
+    all_pairs.dedup();
+    let (_, components) = cluster(contigs_arc.len(), &all_pairs);
+    trace.push(
+        "QuantifyGraph",
+        t0.elapsed().as_secs_f64(),
+        ram::graph_from_fasta(contig_bytes, 0, weld_bytes),
+    );
+
+    // ---- Chrysalis: ReadsToTranscripts ----
+    let rtt_shared = Arc::new(RttShared::prepare(
+        reads.to_vec(),
+        &contigs_arc,
+        &components,
+        cfg.chrysalis,
+    ));
+    let (rtt_out, rtt_timings, rtt_time): (RttOutput, Vec<RttTimings>, f64) = if ranks == 1 {
+        let out = rtt_shared_memory(&rtt_shared);
+        let t = out.timings;
+        let total = t.total;
+        (out, vec![t], total)
+    } else {
+        let sh = Arc::clone(&rtt_shared);
+        let outs = run_cluster(ranks, net, move |comm| rtt_hybrid(comm, &sh));
+        let timings: Vec<RttTimings> = outs.iter().map(|o| o.value.timings).collect();
+        let time = max_time(&outs);
+        (outs.into_iter().next().expect("rank 0").value, timings, time)
+    };
+    let chunk_bytes: usize = reads
+        .iter()
+        .take(cfg.chrysalis.max_mem_reads)
+        .map(|r| r.seq.len())
+        .sum();
+    trace.push(
+        "ReadsToTranscripts",
+        rtt_time,
+        ram::reads_to_transcripts(rtt_shared.kmer_to_component.len(), chunk_bytes),
+    );
+
+    // ---- Butterfly ----
+    let mut comp_inputs: Vec<ComponentInput> = components
+        .iter()
+        .enumerate()
+        .map(|(ci, members)| ComponentInput {
+            component: ci,
+            contigs: members
+                .iter()
+                .map(|&m| contigs_arc[m].seq.clone())
+                .collect(),
+            reads: Vec::new(),
+        })
+        .collect();
+    for &(r, c) in &rtt_out.assignments {
+        comp_inputs[c as usize]
+            .reads
+            .push(reads[r as usize].seq.clone());
+    }
+    let (transcript_lists, costs) = parallel_map_timed(&comp_inputs, |input| {
+        reconstruct_component(input, cfg.reconstruction)
+    });
+    let butterfly_time = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule)
+        .makespan;
+    let transcripts: Vec<Record> = transcript_lists.into_iter().flatten().collect();
+    let max_nodes = comp_inputs
+        .iter()
+        .map(|c| c.contigs.iter().map(Vec::len).sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    trace.push("Butterfly", butterfly_time, ram::butterfly(max_nodes));
+
+    PipelineOutput {
+        contigs: Arc::try_unwrap(contigs_arc).unwrap_or_else(|a| a.as_ref().clone()),
+        components,
+        assignments: rtt_out.assignments,
+        transcripts,
+        trace,
+        gff_timings,
+        rtt_timings,
+        bowtie_timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simulate::datasets::{Dataset, DatasetPreset};
+
+    fn tiny_reads() -> Vec<Record> {
+        Dataset::generate(DatasetPreset::Tiny, 11).all_reads()
+    }
+
+    #[test]
+    fn serial_pipeline_produces_transcripts() {
+        let reads = tiny_reads();
+        let out = run_pipeline(&reads, &PipelineConfig::small(12));
+        assert!(!out.contigs.is_empty(), "contigs assembled");
+        assert!(!out.transcripts.is_empty(), "transcripts reconstructed");
+        assert!(!out.assignments.is_empty(), "reads assigned");
+        assert_eq!(out.trace.stages.len(), 7);
+        assert!(out.trace.total_time() > 0.0);
+        assert_eq!(out.gff_timings.len(), 1);
+    }
+
+    #[test]
+    fn hybrid_pipeline_matches_serial_components() {
+        let reads = tiny_reads();
+        let serial = run_pipeline(&reads, &PipelineConfig::small(12));
+        let mut cfg = PipelineConfig::small(12);
+        cfg.mode = PipelineMode::Hybrid {
+            ranks: 3,
+            net: NetModel::ideal(),
+        };
+        let hybrid = run_pipeline(&reads, &cfg);
+        assert_eq!(hybrid.components, serial.components);
+        assert_eq!(hybrid.assignments, serial.assignments);
+        // Transcript sets identical for identical component inputs.
+        let mut a: Vec<&[u8]> = serial.transcripts.iter().map(|r| r.seq.as_slice()).collect();
+        let mut b: Vec<&[u8]> = hybrid.transcripts.iter().map(|r| r.seq.as_slice()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(hybrid.gff_timings.len(), 3);
+        assert_eq!(hybrid.rtt_timings.len(), 3);
+    }
+
+    #[test]
+    fn transcripts_match_reference_genes() {
+        // At least one simulated gene should be reconstructed end-to-end.
+        let ds = Dataset::generate(DatasetPreset::Tiny, 11);
+        let out = run_pipeline(&ds.all_reads(), &PipelineConfig::small(12));
+        let hit = ds.reference.iter().any(|refseq| {
+            out.transcripts.iter().any(|t| {
+                t.seq == refseq.seq || t.seq == seqio::alphabet::revcomp(&refseq.seq)
+            })
+        });
+        assert!(hit, "no reference transcript reconstructed exactly");
+    }
+
+    #[test]
+    fn trace_is_chrysalis_dominated() {
+        // Fig. 2's headline: Chrysalis (Bowtie+GFF+RTT) dominates runtime.
+        let reads = tiny_reads();
+        let out = run_pipeline(&reads, &PipelineConfig::small(12));
+        let chrysalis_time: f64 = out
+            .trace
+            .stages
+            .iter()
+            .filter(|s| {
+                ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
+                    .contains(&s.name.as_str())
+            })
+            .map(|s| s.duration())
+            .sum();
+        let jelly_time = out.trace.stages[0].duration();
+        assert!(
+            chrysalis_time > jelly_time,
+            "Chrysalis ({chrysalis_time}) should dominate Jellyfish ({jelly_time})"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Text rendering of pipeline traces and stage statistics.
+
+use crate::collectl::CollectlTrace;
+
+/// Render a trace as an aligned text table (the textual Fig. 2 / Fig. 11).
+pub fn render_trace(trace: &CollectlTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>12} {:>10}\n",
+        "stage", "start (s)", "end (s)", "dur (s)", "RAM (MB)"
+    ));
+    for s in &trace.stages {
+        out.push_str(&format!(
+            "{:<20} {:>12.3} {:>12.3} {:>12.3} {:>10.1}\n",
+            s.name,
+            s.start,
+            s.end,
+            s.duration(),
+            s.peak_ram as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>12.3} {:>10.1}\n",
+        "TOTAL",
+        "",
+        "",
+        trace.total_time(),
+        trace.peak_ram() as f64 / 1e6
+    ));
+    out
+}
+
+/// Render an ASCII bar chart of stage durations (quick terminal look at
+/// where the time goes).
+pub fn render_bars(trace: &CollectlTrace, width: usize) -> String {
+    let total = trace.total_time().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for s in &trace.stages {
+        let bar = ((s.duration() / total) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<20} |{:<width$}| {:6.1}%\n",
+            s.name,
+            "#".repeat(bar.min(width)),
+            100.0 * s.duration() / total,
+            width = width
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> CollectlTrace {
+        let mut t = CollectlTrace::default();
+        t.push("Jellyfish", 1.0, 4_000_000);
+        t.push("Chrysalis", 9.0, 2_000_000);
+        t
+    }
+
+    #[test]
+    fn table_contains_stages_and_total() {
+        let s = render_trace(&trace());
+        assert!(s.contains("Jellyfish"));
+        assert!(s.contains("Chrysalis"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("10.000"));
+    }
+
+    #[test]
+    fn bars_scale_with_share() {
+        let s = render_bars(&trace(), 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hashes = |l: &str| l.matches('#').count();
+        assert!(hashes(lines[1]) > hashes(lines[0]));
+        assert!(s.contains("90.0%"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = CollectlTrace::default();
+        assert!(render_trace(&t).contains("TOTAL"));
+        assert_eq!(render_bars(&t, 10), "");
+    }
+}

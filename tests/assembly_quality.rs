@@ -1,0 +1,121 @@
+//! Integration: assembly quality against simulated ground truth — the
+//! §IV validation logic exercised end to end.
+
+use align::validate::{
+    all_to_all_categories, count_full_length, FullLengthCriteria, RefTranscript,
+};
+use seqio::stats::length_stats;
+use simulate::datasets::{Dataset, DatasetPreset};
+use trinity::pipeline::{run_pipeline, PipelineConfig};
+
+fn refs(ds: &Dataset) -> Vec<RefTranscript> {
+    ds.reference
+        .iter()
+        .map(|r| RefTranscript {
+            gene: r.gene.clone(),
+            isoform: r.isoform.clone(),
+            seq: r.seq.clone(),
+        })
+        .collect()
+}
+
+#[test]
+fn most_reference_isoforms_reconstructed_full_length() {
+    let ds = Dataset::generate(DatasetPreset::Tiny, 41);
+    let out = run_pipeline(&ds.all_reads(), &PipelineConfig::small(12));
+    let counts = count_full_length(&out.transcripts, &refs(&ds), FullLengthCriteria::default());
+    let total = ds.reference.len();
+    assert!(
+        counts.isoforms * 2 >= total,
+        "at least half the isoforms full-length: {}/{total}",
+        counts.isoforms
+    );
+    assert!(counts.genes > 0);
+}
+
+#[test]
+fn self_comparison_is_all_identical() {
+    let ds = Dataset::generate(DatasetPreset::Tiny, 43);
+    let out = run_pipeline(&ds.all_reads(), &PipelineConfig::small(12));
+    let cats = all_to_all_categories(
+        &out.transcripts,
+        &out.transcripts,
+        FullLengthCriteria::default(),
+    );
+    assert_eq!(cats.identical_full, out.transcripts.len());
+    assert_eq!(cats.partial, 0);
+    assert_eq!(cats.unaligned, 0);
+}
+
+#[test]
+fn transcript_lengths_are_plausible() {
+    let ds = Dataset::generate(DatasetPreset::Tiny, 47);
+    let out = run_pipeline(&ds.all_reads(), &PipelineConfig::small(12));
+    let stats = length_stats(out.transcripts.iter().map(|t| t.seq.len()));
+    let ref_stats = length_stats(ds.reference.iter().map(|r| r.seq.len()));
+    assert!(stats.count > 0);
+    // No transcript wildly exceeds the longest reference (fusions are
+    // bounded by two genes at this scale).
+    assert!(
+        stats.max <= 2 * ref_stats.max + 100,
+        "max transcript {} vs max reference {}",
+        stats.max,
+        ref_stats.max
+    );
+    // N50 within a sane band of the reference N50.
+    assert!(stats.n50 * 4 >= ref_stats.n50, "N50 {} vs {}", stats.n50, ref_stats.n50);
+}
+
+#[test]
+fn coverage_depth_improves_reconstruction() {
+    // More reads -> at least as many full-length reconstructions.
+    use simulate::expression::ExpressionModel;
+    use simulate::reads::{simulate_reads, ReadSimConfig};
+    use simulate::transcriptome::{Transcriptome, TranscriptomeConfig};
+
+    let t = Transcriptome::generate(TranscriptomeConfig {
+        genes: 6,
+        exons_per_gene: (2, 3),
+        exon_len: (90, 220),
+        isoforms_per_gene: (1, 1),
+        paralog_fraction: 0.0,
+        paralog_divergence: 0.03,
+        seed: 9,
+    });
+    let reference = t.reference();
+    let expr = ExpressionModel::default();
+    let mk = |pairs: usize| {
+        simulate_reads(
+            &reference,
+            &expr,
+            ReadSimConfig {
+                pairs,
+                read_len: 36,
+                insert_mean: 110.0,
+                insert_sd: 10.0,
+                error_rate: 0.0,
+                seed: 77,
+            },
+        )
+        .all()
+    };
+    let shallow = run_pipeline(&mk(150), &PipelineConfig::small(12));
+    let deep = run_pipeline(&mk(1500), &PipelineConfig::small(12));
+    let refs: Vec<RefTranscript> = reference
+        .iter()
+        .map(|r| RefTranscript {
+            gene: r.gene.clone(),
+            isoform: r.isoform.clone(),
+            seq: r.seq.clone(),
+        })
+        .collect();
+    let c_shallow = count_full_length(&shallow.transcripts, &refs, FullLengthCriteria::default());
+    let c_deep = count_full_length(&deep.transcripts, &refs, FullLengthCriteria::default());
+    assert!(
+        c_deep.isoforms >= c_shallow.isoforms,
+        "deep {} >= shallow {}",
+        c_deep.isoforms,
+        c_shallow.isoforms
+    );
+    assert!(c_deep.isoforms > 0);
+}

@@ -1,0 +1,113 @@
+//! Integration: the hybrid MPI+OpenMP pipeline produces the same assembly
+//! as the original single-node layout — the paper's central correctness
+//! claim (§IV), checked exactly (same seeds → same partition-invariant
+//! output) rather than statistically.
+
+use mpisim::NetModel;
+use simulate::datasets::{Dataset, DatasetPreset};
+use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode, PipelineOutput};
+
+fn tiny(seed: u64) -> Vec<seqio::fasta::Record> {
+    Dataset::generate(DatasetPreset::Tiny, seed).all_reads()
+}
+
+fn run(reads: &[seqio::fasta::Record], mode: PipelineMode) -> PipelineOutput {
+    let mut cfg = PipelineConfig::small(12);
+    cfg.mode = mode;
+    run_pipeline(reads, &cfg)
+}
+
+fn sorted_seqs(out: &PipelineOutput) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = out.transcripts.iter().map(|t| t.seq.clone()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn hybrid_equals_serial_across_rank_counts() {
+    let reads = tiny(17);
+    let serial = run(&reads, PipelineMode::Serial);
+    for ranks in [2usize, 3, 5, 8] {
+        let hybrid = run(
+            &reads,
+            PipelineMode::Hybrid {
+                ranks,
+                net: NetModel::idataplex(),
+            },
+        );
+        assert_eq!(hybrid.components, serial.components, "ranks={ranks}");
+        assert_eq!(hybrid.assignments, serial.assignments, "ranks={ranks}");
+        assert_eq!(sorted_seqs(&hybrid), sorted_seqs(&serial), "ranks={ranks}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let reads = tiny(23);
+    let a = run(&reads, PipelineMode::Serial);
+    let b = run(&reads, PipelineMode::Serial);
+    assert_eq!(a.components, b.components);
+    assert_eq!(sorted_seqs(&a), sorted_seqs(&b));
+}
+
+#[test]
+fn network_model_changes_time_not_output() {
+    let reads = tiny(29);
+    let fast = run(
+        &reads,
+        PipelineMode::Hybrid {
+            ranks: 4,
+            net: NetModel::ideal(),
+        },
+    );
+    let slow = run(
+        &reads,
+        PipelineMode::Hybrid {
+            ranks: 4,
+            net: NetModel::gigabit(),
+        },
+    );
+    assert_eq!(sorted_seqs(&fast), sorted_seqs(&slow));
+    // Gigabit's per-byte cost must show up somewhere in GFF comms.
+    let comm = |o: &PipelineOutput| -> f64 {
+        o.gff_timings.iter().map(|t| t.comm1 + t.comm2).sum()
+    };
+    assert!(comm(&slow) >= comm(&fast));
+}
+
+#[test]
+fn jitter_emulates_run_to_run_variation() {
+    // Trinity's output is "slightly indeterministic" across runs; the
+    // jitter seed reproduces that: different seeds may differ, same seed
+    // never does.
+    let reads = tiny(31);
+    let mut cfg = PipelineConfig::small(12);
+    cfg.inchworm.jitter_seed = Some(1);
+    let a = run_pipeline(&reads, &cfg);
+    let b = run_pipeline(&reads, &cfg);
+    assert_eq!(sorted_seqs(&a), sorted_seqs(&b), "same seed, same output");
+}
+
+#[test]
+fn stage_trace_covers_whole_pipeline() {
+    let reads = tiny(37);
+    let out = run(&reads, PipelineMode::Serial);
+    let names: Vec<&str> = out.trace.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "Jellyfish",
+            "Inchworm",
+            "Bowtie",
+            "GraphFromFasta",
+            "QuantifyGraph",
+            "ReadsToTranscripts",
+            "Butterfly"
+        ]
+    );
+    // Stages are contiguous on the virtual-time axis.
+    for w in out.trace.stages.windows(2) {
+        assert!((w[0].end - w[1].start).abs() < 1e-12);
+    }
+    assert!(out.trace.peak_ram() > 0);
+}
