@@ -109,7 +109,7 @@ pub fn needleman_wunsch(query: &[u8], target: &[u8], s: ScoringScheme) -> Global
         let idx = i * width + j;
         match dir[idx] {
             Dir::Diag if i > 0 && j > 0 => {
-                if query[i - 1].to_ascii_uppercase() == target[j - 1].to_ascii_uppercase() {
+                if query[i - 1].eq_ignore_ascii_case(&target[j - 1]) {
                     matches += 1;
                 } else {
                     mismatches += 1;

@@ -165,7 +165,7 @@ pub fn smith_waterman(query: &[u8], target: &[u8], s: ScoringScheme) -> LocalAli
         match dir[i * (m + 1) + j] {
             Dir::Stop => break,
             Dir::Diag => {
-                if query[i - 1].to_ascii_uppercase() == target[j - 1].to_ascii_uppercase() {
+                if query[i - 1].eq_ignore_ascii_case(&target[j - 1]) {
                     matches += 1;
                 } else {
                     mismatches += 1;

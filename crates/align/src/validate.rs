@@ -80,7 +80,9 @@ impl CandidateFilter {
             if let Ok(iter) = KmerIter::new(&t.seq, FILTER_K) {
                 for (_, km) in iter {
                     if seen.insert(km.canonical().packed()) {
-                        map.entry(km.canonical().packed()).or_default().push(i as u32);
+                        map.entry(km.canonical().packed())
+                            .or_default()
+                            .push(i as u32);
                     }
                 }
             }
@@ -131,8 +133,8 @@ fn classify(
         // identically against both) break toward the higher mutual
         // coverage, so a sequence always classifies against its best
         // *full-length* counterpart.
-        let cov = al.query_coverage(query.seq.len())
-            * al.target_coverage(targets[c as usize].seq.len());
+        let cov =
+            al.query_coverage(query.seq.len()) * al.target_coverage(targets[c as usize].seq.len());
         let better = match &best {
             None => true,
             Some((b, _, bcov)) => al.score > b.score || (al.score == b.score && cov > *bcov),
@@ -319,8 +321,11 @@ mod tests {
     fn near_identical_is_category_b() {
         let mut t = T1.to_vec();
         t[30] = if t[30] == b'A' { b'C' } else { b'A' };
-        let counts =
-            all_to_all_categories(&[rec("x", T1)], &[rec("y", &t)], FullLengthCriteria::default());
+        let counts = all_to_all_categories(
+            &[rec("x", T1)],
+            &[rec("y", &t)],
+            FullLengthCriteria::default(),
+        );
         assert_eq!(counts.full, 1);
         assert_eq!(counts.identical_full, 0);
     }

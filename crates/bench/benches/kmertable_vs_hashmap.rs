@@ -1,0 +1,140 @@
+//! Head-to-head: std `HashMap` (SipHash) vs the packed open-addressing
+//! `kmertable::PackedKmerTable` on the two Chrysalis hot-path shapes it
+//! replaced — k-mer counting (build-heavy: one `add` per window) and
+//! ReadsToTranscripts assignment (probe-heavy: one `get` per read window).
+//!
+//! Run with `cargo bench --bench kmertable_vs_hashmap`; a custom `main`
+//! writes the measured before/after pairs to `BENCH_kmertable.json` at the
+//! workspace root so the speedup claim in DESIGN.md stays reproducible.
+
+use criterion::{black_box, Criterion};
+use std::collections::HashMap;
+
+use kmertable::PackedKmerTable;
+use seqio::kmer::KmerIter;
+use simulate::datasets::{Dataset, DatasetPreset};
+
+const K: usize = 24;
+
+/// Packed canonical k-mers of every read window, in read order — the key
+/// stream both table implementations consume. Extracting it once keeps
+/// window decoding and canonicalization (identical work in either
+/// implementation) out of the measured region, so the comparison isolates
+/// the data structure that this PR swapped.
+fn packed_stream() -> Vec<u64> {
+    let mut keys = Vec::new();
+    for r in Dataset::generate(DatasetPreset::Tiny, 7).all_reads() {
+        let Ok(iter) = KmerIter::new(&r.seq, K) else {
+            continue;
+        };
+        for (_, km) in iter {
+            keys.push(km.canonical().packed());
+        }
+    }
+    keys
+}
+
+fn count_hashmap(keys: &[u64]) -> HashMap<u64, u32> {
+    let mut m: HashMap<u64, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+fn count_kmertable(keys: &[u64]) -> PackedKmerTable {
+    let mut t = PackedKmerTable::new();
+    for &k in keys {
+        t.add(k, 1);
+    }
+    t
+}
+
+/// Probe-side workload: the per-window map lookup of
+/// `ReadsToTranscripts::assign`'s voting loop.
+fn assign_hashmap(keys: &[u64], map: &HashMap<u64, u32>) -> u64 {
+    let mut hits = 0u64;
+    for k in keys {
+        if let Some(&c) = map.get(k) {
+            hits += c as u64;
+        }
+    }
+    hits
+}
+
+fn assign_kmertable(keys: &[u64], map: &PackedKmerTable) -> u64 {
+    let mut hits = 0u64;
+    for &k in keys {
+        if let Some(c) = map.get(k) {
+            hits += c as u64;
+        }
+    }
+    hits
+}
+
+fn bench(c: &mut Criterion) {
+    let keys = packed_stream();
+
+    // Same totals from both structures, or the comparison is meaningless.
+    let hm = count_hashmap(&keys);
+    let kt = count_kmertable(&keys);
+    assert_eq!(hm.len(), kt.len());
+    assert_eq!(
+        hm.values().map(|&v| v as u64).sum::<u64>(),
+        kt.iter().map(|(_, v)| v as u64).sum::<u64>()
+    );
+    assert_eq!(assign_hashmap(&keys, &hm), assign_kmertable(&keys, &kt));
+
+    let mut g = c.benchmark_group("kmer_count");
+    g.sample_size(20);
+    g.bench_function("hashmap", |b| b.iter(|| black_box(count_hashmap(&keys))));
+    g.bench_function("kmertable", |b| {
+        b.iter(|| black_box(count_kmertable(&keys)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rtt_assign");
+    g.sample_size(20);
+    g.bench_function("hashmap", |b| {
+        b.iter(|| black_box(assign_hashmap(&keys, &hm)))
+    });
+    g.bench_function("kmertable", |b| {
+        b.iter(|| black_box(assign_kmertable(&keys, &kt)))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench(&mut criterion);
+
+    // Persist before/after pairs. Under `cargo test` the harness runs in
+    // smoke mode and every report is 0.0 s — skip writing in that case so a
+    // test run never clobbers real measurements.
+    let reports = criterion.reports();
+    if reports.iter().any(|r| r.seconds == 0.0) {
+        return;
+    }
+    let second_of = |id: &str| {
+        reports
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.seconds)
+            .unwrap_or(f64::NAN)
+    };
+    let mut out = String::from("{\n  \"k\": 24,\n  \"workloads\": [\n");
+    for (i, group) in ["kmer_count", "rtt_assign"].iter().enumerate() {
+        let before = second_of(&format!("{group}/hashmap"));
+        let after = second_of(&format!("{group}/kmertable"));
+        out.push_str(&format!(
+            "    {{\"workload\": \"{group}\", \"hashmap_s\": {before:.6e}, \
+             \"kmertable_s\": {after:.6e}, \"speedup\": {:.3}}}{}\n",
+            before / after,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kmertable.json");
+    std::fs::write(path, out).expect("write BENCH_kmertable.json");
+    println!("wrote {path}");
+}

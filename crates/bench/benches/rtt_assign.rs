@@ -74,8 +74,9 @@ fn bench(c: &mut Criterion) {
                 for (ci, ch) in chunks.iter().enumerate() {
                     let dest = ci % size;
                     if comm.rank() == 0 {
-                        let payload =
-                            pack_byte_strings(&ch.iter().map(|r| r.seq.clone()).collect::<Vec<_>>());
+                        let payload = pack_byte_strings(
+                            &ch.iter().map(|r| r.seq.clone()).collect::<Vec<_>>(),
+                        );
                         if dest == 0 {
                             assigned += ch.iter().filter_map(|r| s.assign(&r.seq)).count();
                         } else {

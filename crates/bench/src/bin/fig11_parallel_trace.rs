@@ -5,5 +5,8 @@ fn main() {
     let cli = bench::Cli::parse(std::env::args().skip(1));
     let baseline = bench::fig02_baseline::run(cli.seed, cli.scale);
     let parallel = bench::fig11_parallel_trace::run(cli.seed, cli.scale, 16);
-    print!("{}", bench::fig11_parallel_trace::render(&parallel, &baseline));
+    print!(
+        "{}",
+        bench::fig11_parallel_trace::render(&parallel, &baseline)
+    );
 }

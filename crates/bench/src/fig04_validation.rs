@@ -49,8 +49,14 @@ pub fn run(seed: u64, scale: f64, repeats: usize) -> Fig04Row {
         let original_a = run_once(&w.reads, 1000 + i as u64, false);
         let original_b = run_once(&w.reads, 2000 + i as u64, false);
         let parallel = run_once(&w.reads, 3000 + i as u64, true);
-        merge(&mut row.parallel, all_to_all_categories(&parallel, &original_a, criteria));
-        merge(&mut row.original, all_to_all_categories(&original_b, &original_a, criteria));
+        merge(
+            &mut row.parallel,
+            all_to_all_categories(&parallel, &original_a, criteria),
+        );
+        merge(
+            &mut row.original,
+            all_to_all_categories(&original_b, &original_a, criteria),
+        );
     }
     row
 }
@@ -121,7 +127,9 @@ pub fn render(row: &Fig04Row) -> String {
         pct(p.unaligned, tp),
         pct(o.unaligned, to)
     ));
-    out.push_str("(d) identity of partial alignments (bins: <80, 80-90, 90-95, 95-99, 99-100 %):\n");
+    out.push_str(
+        "(d) identity of partial alignments (bins: <80, 80-90, 90-95, 95-99, 99-100 %):\n",
+    );
     out.push_str(&format!(
         "    Parallel {:?}\n    Original {:?}\n",
         identity_histogram(&p.partial_identities),
@@ -147,9 +155,8 @@ mod tests {
         assert!(row.parallel.total() > 0);
         assert!(row.original.total() > 0);
         // Most transcripts should land in (a)+(b) for both comparisons.
-        let share = |c: &CategoryCounts| {
-            (c.identical_full + c.full) as f64 / c.total().max(1) as f64
-        };
+        let share =
+            |c: &CategoryCounts| (c.identical_full + c.full) as f64 / c.total().max(1) as f64;
         assert!(share(&row.parallel) > 0.5, "parallel {:?}", row.parallel);
         assert!(share(&row.original) > 0.5, "original {:?}", row.original);
         let text = render(&row);

@@ -44,8 +44,7 @@ pub fn to_ref_transcripts(reference: &[RefSeq]) -> Vec<RefTranscript> {
 pub fn run_dataset(preset: DatasetPreset, label: &'static str, seed: u64, scale: f64) -> Fig05Row {
     let w = scaled(preset, seed, scale);
     let refs = to_ref_transcripts(&w.reference);
-    let genes: std::collections::HashSet<&str> =
-        refs.iter().map(|r| r.gene.as_str()).collect();
+    let genes: std::collections::HashSet<&str> = refs.iter().map(|r| r.gene.as_str()).collect();
     let criteria = FullLengthCriteria::default();
 
     let mut serial_cfg = bench_pipeline_config();
@@ -72,7 +71,12 @@ pub fn run_dataset(preset: DatasetPreset, label: &'static str, seed: u64, scale:
 pub fn run(seed: u64, scale: f64) -> Vec<Fig05Row> {
     vec![
         run_dataset(DatasetPreset::SchizoLike, "schizo-like", seed, scale),
-        run_dataset(DatasetPreset::DrosophilaLike, "drosophila-like", seed + 1, scale),
+        run_dataset(
+            DatasetPreset::DrosophilaLike,
+            "drosophila-like",
+            seed + 1,
+            scale,
+        ),
     ]
 }
 

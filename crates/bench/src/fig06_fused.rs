@@ -49,7 +49,12 @@ pub fn run_dataset(preset: DatasetPreset, label: &'static str, seed: u64, scale:
 pub fn run(seed: u64, scale: f64) -> Vec<Fig06Row> {
     vec![
         run_dataset(DatasetPreset::SchizoLike, "schizo-like", seed, scale),
-        run_dataset(DatasetPreset::DrosophilaLike, "drosophila-like", seed + 1, scale),
+        run_dataset(
+            DatasetPreset::DrosophilaLike,
+            "drosophila-like",
+            seed + 1,
+            scale,
+        ),
     ]
 }
 
@@ -81,8 +86,7 @@ mod tests {
     fn fusion_counts_are_comparable_between_versions() {
         let row = run_dataset(DatasetPreset::SchizoLike, "schizo-like", 3, 0.15);
         // Fusions are rare; the invariant is that versions agree closely.
-        let diff = (row.original.fused_transcripts as i64
-            - row.parallel.fused_transcripts as i64)
+        let diff = (row.original.fused_transcripts as i64 - row.parallel.fused_transcripts as i64)
             .unsigned_abs() as usize;
         assert!(
             diff <= 2 + row.original.fused_transcripts / 2,

@@ -149,6 +149,10 @@ mod tests {
         let data = run(shared, &[48]);
         let r = &data.rows[0];
         // Skewed contig lengths: the slowest rank is measurably slower.
-        assert!(r.loop1.imbalance() > 1.05, "imbalance {}", r.loop1.imbalance());
+        assert!(
+            r.loop1.imbalance() > 1.05,
+            "imbalance {}",
+            r.loop1.imbalance()
+        );
     }
 }

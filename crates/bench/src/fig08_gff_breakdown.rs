@@ -31,9 +31,7 @@ pub fn breakdown(data: &Fig07Data) -> Vec<BreakdownRow> {
                 ranks: r.ranks,
                 loop1_pct: 100.0 * r.loop1.max / total,
                 loop2_pct: 100.0 * r.loop2.max / total,
-                serial_pct: (100.0
-                    - 100.0 * r.loop1.max / total
-                    - 100.0 * r.loop2.max / total)
+                serial_pct: (100.0 - 100.0 * r.loop1.max / total - 100.0 * r.loop2.max / total)
                     .max(0.0),
             }
         })

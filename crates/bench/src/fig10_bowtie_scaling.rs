@@ -54,11 +54,7 @@ pub fn prepare(seed: u64, scale: f64) -> (Arc<Vec<Record>>, Arc<Vec<Record>>) {
 }
 
 /// Run the scaling sweep.
-pub fn run(
-    contigs: Arc<Vec<Record>>,
-    reads: Arc<Vec<Record>>,
-    rank_counts: &[usize],
-) -> Fig10Data {
+pub fn run(contigs: Arc<Vec<Record>>, reads: Arc<Vec<Record>>, rank_counts: &[usize]) -> Fig10Data {
     let cfg = bench_pipeline_config();
     let align_cfg = AlignConfig {
         max_mismatches: 1,

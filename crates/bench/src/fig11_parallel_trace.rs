@@ -35,8 +35,13 @@ pub fn render(parallel: &CollectlTrace, baseline: &CollectlTrace) -> String {
         t.stages
             .iter()
             .filter(|s| {
-                ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
-                    .contains(&s.name.as_str())
+                [
+                    "Bowtie",
+                    "GraphFromFasta",
+                    "QuantifyGraph",
+                    "ReadsToTranscripts",
+                ]
+                .contains(&s.name.as_str())
             })
             .map(|s| s.duration())
             .sum()
@@ -64,8 +69,13 @@ mod tests {
             t.stages
                 .iter()
                 .filter(|s| {
-                    ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
-                        .contains(&s.name.as_str())
+                    [
+                        "Bowtie",
+                        "GraphFromFasta",
+                        "QuantifyGraph",
+                        "ReadsToTranscripts",
+                    ]
+                    .contains(&s.name.as_str())
                 })
                 .map(|s| s.duration())
                 .sum()

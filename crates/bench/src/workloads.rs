@@ -52,6 +52,23 @@ pub fn bench_pipeline_config() -> PipelineConfig {
     cfg
 }
 
+/// Run Jellyfish + Inchworm over a read set, producing the contig FASTA
+/// and the read k-mer table the Chrysalis experiments consume.
+pub fn assemble_contigs(
+    reads: &[Record],
+    cfg: &PipelineConfig,
+) -> (Vec<Record>, kcount::counter::KmerCounts) {
+    let counts =
+        kcount::counter::count_kmers(reads, kcount::counter::CounterConfig::new(cfg.chrysalis.k));
+    let dict =
+        inchworm::dictionary::Dictionary::from_counts(counts.clone(), cfg.min_kmer_count.max(1));
+    let contigs = inchworm::assemble::assemble(&dict, cfg.inchworm)
+        .iter()
+        .map(|c| c.to_record())
+        .collect();
+    (contigs, counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,23 +92,4 @@ mod tests {
     fn config_uses_sixteen_threads() {
         assert_eq!(bench_pipeline_config().chrysalis.threads, 16);
     }
-}
-
-/// Run Jellyfish + Inchworm over a read set, producing the contig FASTA
-/// and the read k-mer table the Chrysalis experiments consume.
-pub fn assemble_contigs(
-    reads: &[Record],
-    cfg: &PipelineConfig,
-) -> (Vec<Record>, kcount::counter::KmerCounts) {
-    let counts = kcount::counter::count_kmers(
-        reads,
-        kcount::counter::CounterConfig::new(cfg.chrysalis.k),
-    );
-    let dict =
-        inchworm::dictionary::Dictionary::from_counts(counts.clone(), cfg.min_kmer_count.max(1));
-    let contigs = inchworm::assemble::assemble(&dict, cfg.inchworm)
-        .iter()
-        .map(|c| c.to_record())
-        .collect();
-    (contigs, counts)
 }

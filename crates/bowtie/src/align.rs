@@ -63,6 +63,7 @@ const DNA: [u8; 4] = [b'A', b'C', b'G', b'T'];
 
 /// DFS over the index, collecting SA ranges of full-length matches with
 /// their mismatch counts.
+#[allow(clippy::too_many_arguments)]
 fn backtrack(
     idx: &FmIndex,
     pattern: &[u8],

@@ -32,7 +32,11 @@ impl Bwt {
     /// that appears nowhere else.
     pub fn build(text: &[u8]) -> Self {
         assert!(!text.is_empty(), "text must be non-empty");
-        assert_eq!(*text.last().unwrap(), 0, "text must end with the 0 terminator");
+        assert_eq!(
+            *text.last().unwrap(),
+            0,
+            "text must end with the 0 terminator"
+        );
         assert_eq!(
             text.iter().filter(|&&b| b == 0).count(),
             1,

@@ -147,9 +147,18 @@ mod tests {
         assert_eq!(
             hits,
             vec![
-                Hit { contig: 0, offset: 0 },
-                Hit { contig: 0, offset: 4 },
-                Hit { contig: 1, offset: 4 },
+                Hit {
+                    contig: 0,
+                    offset: 0
+                },
+                Hit {
+                    contig: 0,
+                    offset: 4
+                },
+                Hit {
+                    contig: 1,
+                    offset: 4
+                },
             ]
         );
         assert_eq!(idx.count(b"ACGT"), 3);
@@ -180,7 +189,13 @@ mod tests {
     fn single_contig_full_match() {
         let idx = FmIndex::build(&[Record::new("x", b"GATTACA".to_vec())]);
         let hits = idx.locate(b"GATTACA");
-        assert_eq!(hits, vec![Hit { contig: 0, offset: 0 }]);
+        assert_eq!(
+            hits,
+            vec![Hit {
+                contig: 0,
+                offset: 0
+            }]
+        );
     }
 
     #[test]
@@ -190,7 +205,13 @@ mod tests {
             Record::new("x", b"ACGT".to_vec()),
         ]);
         let hits = idx.locate(b"ACGT");
-        assert_eq!(hits, vec![Hit { contig: 1, offset: 0 }]);
+        assert_eq!(
+            hits,
+            vec![Hit {
+                contig: 1,
+                offset: 0
+            }]
+        );
     }
 
     #[test]
@@ -202,8 +223,7 @@ mod tests {
                 let pat = &seq[start..end];
                 let hits = idx.locate(pat);
                 assert!(
-                    hits.iter()
-                        .any(|h| h.contig == 0 && h.offset == start),
+                    hits.iter().any(|h| h.contig == 0 && h.offset == start),
                     "missing {start}..{end}"
                 );
             }

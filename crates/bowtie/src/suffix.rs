@@ -14,7 +14,10 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
-    assert!(n <= u32::MAX as usize, "text too large for u32 suffix array");
+    assert!(
+        n <= u32::MAX as usize,
+        "text too large for u32 suffix array"
+    );
 
     // Initial ranks = byte values.
     let mut rank: Vec<u32> = text.iter().map(|&b| b as u32).collect();
@@ -101,7 +104,9 @@ mod tests {
         let mut state = 12345u64;
         let mut text: Vec<u8> = (0..500)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 b"ACGT"[(state >> 33) as usize % 4]
             })
             .collect();

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn cycle_only_graph_yields_nothing() {
         let g = DeBruijnGraph::build(3, [b"AAAA".as_slice()]);
-        assert!(enumerate_paths(&g, cfg(1)).is_empty(), "no sources in a pure cycle");
+        assert!(
+            enumerate_paths(&g, cfg(1)).is_empty(),
+            "no sources in a pure cycle"
+        );
     }
 
     #[test]
@@ -197,6 +200,9 @@ mod tests {
         let seq = b"TTGCAATGGCCGAGTCGGTTATCTTCGAGTCGGTTATCTTACGGATAC";
         let g = DeBruijnGraph::build(8, [seq.as_slice()]);
         let paths = enumerate_paths(&g, cfg(10));
-        assert!(paths.iter().any(|p| p == &seq.to_vec()), "repeat path found");
+        assert!(
+            paths.iter().any(|p| p == &seq.to_vec()),
+            "repeat path found"
+        );
     }
 }

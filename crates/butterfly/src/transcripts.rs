@@ -119,7 +119,10 @@ mod tests {
             reads: vec![junction_read],
         };
         let recs = reconstruct_component(&input, cfg(8, 20));
-        assert!(recs.iter().any(|r| r.seq == full), "full transcript spelled");
+        assert!(
+            recs.iter().any(|r| r.seq == full),
+            "full transcript spelled"
+        );
     }
 
     #[test]

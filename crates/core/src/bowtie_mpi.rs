@@ -97,15 +97,17 @@ pub fn bowtie_mpi(
     timings.split = comm.clock.now() - t_before;
 
     // ---- Index this rank's slice ----
-    let my_piece: Vec<Record> = plan[comm.rank()].iter().map(|&i| contigs[i].clone()).collect();
+    let my_piece: Vec<Record> = plan[comm.rank()]
+        .iter()
+        .map(|&i| contigs[i].clone())
+        .collect();
     let index = comm.charge_measured(|| FmIndex::build(&my_piece));
     timings.index = comm.clock.now() - t_before - timings.split;
 
     // ---- Align every read against the slice (multi-threaded) ----
     let guard = mpisim::compute_lock();
-    let (hit_lists, costs) = parallel_map_timed(reads, |read| {
-        align_read(&index, &read.seq, align_cfg)
-    });
+    let (hit_lists, costs) =
+        parallel_map_timed(reads, |read| align_read(&index, &read.seq, align_cfg));
     drop(guard);
     let makespan = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
     comm.charge(makespan);

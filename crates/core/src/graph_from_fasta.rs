@@ -75,11 +75,7 @@ impl GffShared {
     /// Build the replicated state. `counts` is the Jellyfish read-k-mer
     /// table at the same `k` as `cfg.k`.
     pub fn prepare(contigs: Vec<Record>, counts: KmerCounts, cfg: ChrysalisConfig) -> Self {
-        assert_eq!(
-            counts.k(),
-            cfg.k,
-            "read k-mer table must use the stage's k"
-        );
+        assert_eq!(counts.k(), cfg.k, "read k-mer table must use the stage's k");
         let (kmap, prep_cost) = build_kmap_parallel(&contigs, cfg.k, cfg.threads, cfg.schedule);
         GffShared {
             contigs,
@@ -131,7 +127,10 @@ fn rank_items(n: usize, rank: usize, size: usize, chunk: usize) -> Vec<u32> {
 
 fn dedup_preserving_order(welds: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
     let mut seen = std::collections::HashSet::new();
-    welds.into_iter().filter(|w| seen.insert(w.clone())).collect()
+    welds
+        .into_iter()
+        .filter(|w| seen.insert(w.clone()))
+        .collect()
 }
 
 /// Shared-memory (OpenMP-only) GraphFromFasta: the paper's baseline,
@@ -160,8 +159,9 @@ pub fn gff_shared_memory(shared: &GffShared) -> GffOutput {
     timings.serial += t0.elapsed().as_secs_f64();
 
     // Loop 2.
-    let (match_lists, costs) =
-        parallel_map_timed(&items, |&i| match_contig(i, &shared.contigs, &weld_index, cfg));
+    let (match_lists, costs) = parallel_map_timed(&items, |&i| {
+        match_contig(i, &shared.contigs, &weld_index, cfg)
+    });
     timings.loop2 = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
     let matches: Vec<(u32, u32)> = match_lists.into_iter().flatten().collect();
 
@@ -226,8 +226,9 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
 
     // ---- Loop 2: weld matching over the same distribution ----
     let guard = mpisim::compute_lock();
-    let (match_lists, costs) =
-        parallel_map_timed(&my_items, |&i| match_contig(i, &shared.contigs, &weld_index, cfg));
+    let (match_lists, costs) = parallel_map_timed(&my_items, |&i| {
+        match_contig(i, &shared.contigs, &weld_index, cfg)
+    });
     drop(guard);
     let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
     comm.charge(sim.makespan);
@@ -323,9 +324,7 @@ mod tests {
         let serial = gff_shared_memory(&shared);
         for ranks in [1usize, 2, 3, 5] {
             let sh = Arc::clone(&shared);
-            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| {
-                gff_hybrid(comm, &sh)
-            });
+            let outs = run_cluster(ranks, NetModel::ideal(), move |comm| gff_hybrid(comm, &sh));
             for o in &outs {
                 assert_eq!(o.value.pairs, serial.pairs, "ranks={ranks}");
                 assert_eq!(o.value.component_of, serial.component_of);
@@ -483,9 +482,8 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         let mut chunk_costs = Vec::with_capacity(chunks.len());
         let mut chunk_welds: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
         for c in &chunks {
-            chunk_costs.push(
-                simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan,
-            );
+            chunk_costs
+                .push(simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan);
             let welds: Vec<Vec<u8>> = weld_lists[c.start..c.end]
                 .iter()
                 .flatten()
@@ -494,7 +492,10 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
             chunk_welds.push(pack_byte_strings(&welds));
         }
         let mut parts = vec![pack_u64s(
-            &chunk_costs.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+            &chunk_costs
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<u64>>(),
         )];
         parts.extend(chunk_welds);
         pack_byte_strings(&parts)
@@ -542,9 +543,8 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         let mut chunk_costs = Vec::with_capacity(chunks.len());
         let mut chunk_matches: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
         for c in &chunks {
-            chunk_costs.push(
-                simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan,
-            );
+            chunk_costs
+                .push(simulate_loop(&costs[c.start..c.end], cfg.threads, cfg.schedule).makespan);
             let m: Vec<(u32, u32)> = match_lists[c.start..c.end]
                 .iter()
                 .flatten()
@@ -553,7 +553,10 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
             chunk_matches.push(pack_u32s(&pack_matches(&m)));
         }
         let mut parts = vec![pack_u64s(
-            &chunk_costs.iter().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+            &chunk_costs
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<u64>>(),
         )];
         parts.extend(chunk_matches);
         pack_byte_strings(&parts)
@@ -584,9 +587,7 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
     timings.comm2 = comm.clock.now() - t_before;
     let matches: Vec<(u32, u32)> = pooled_parts
         .iter()
-        .flat_map(|p| {
-            unpack_matches(&unpack_u32s(p).expect("whole u32s")).expect("pairs")
-        })
+        .flat_map(|p| unpack_matches(&unpack_u32s(p).expect("whole u32s")).expect("pairs"))
         .collect();
 
     let (pairs, component_of, components) = comm.charge_measured(|| {

@@ -47,6 +47,10 @@ pub mod timings;
 pub mod weld;
 
 pub use config::ChrysalisConfig;
-pub use graph_from_fasta::{gff_hybrid, gff_hybrid_dynamic, gff_shared_memory, GffOutput, GffShared};
-pub use reads_to_transcripts::{rtt_hybrid, rtt_hybrid_striped, rtt_shared_memory, RttOutput, RttShared};
+pub use graph_from_fasta::{
+    gff_hybrid, gff_hybrid_dynamic, gff_shared_memory, GffOutput, GffShared,
+};
+pub use reads_to_transcripts::{
+    rtt_hybrid, rtt_hybrid_striped, rtt_shared_memory, RttOutput, RttShared,
+};
 pub use timings::{GffTimings, PhaseSpread, RttTimings};

@@ -9,8 +9,7 @@
 //! concatenated by the master at the end (a cheap `cat`, <15 s in the
 //! paper).
 
-use std::collections::HashMap;
-
+use kmertable::PackedKmerTable;
 use seqio::fasta::Record;
 use seqio::kmer::CanonicalKmers;
 
@@ -28,8 +27,10 @@ pub struct RttShared {
     /// All input reads, in file order.
     pub reads: Vec<Record>,
     /// Canonical k-mer → component table ("assignment of k-mers to
-    /// Inchworm bundles", OpenMP-only in the paper).
-    pub kmer_to_component: HashMap<u64, u32>,
+    /// Inchworm bundles", OpenMP-only in the paper). An open-addressing
+    /// packed-k-mer table: the per-read voting loop probes it once per
+    /// read k-mer, making it the stage's hottest structure.
+    pub kmer_to_component: PackedKmerTable,
     /// Measured cost of building the table (seconds).
     pub kmer_setup_cost: f64,
     /// Number of components.
@@ -58,14 +59,14 @@ impl RttShared {
             .map(|(i, c)| (i * 16, c))
             .collect();
         let (partials, costs) = omp::pool::parallel_map_timed(&batches, |&(base, comps)| {
-            let mut map: HashMap<u64, u32> = HashMap::new();
+            let mut map = PackedKmerTable::new();
             for (ci, members) in comps.iter().enumerate() {
                 for &m in members {
                     if let Ok(iter) = CanonicalKmers::new(&contigs[m].seq, cfg.k) {
                         for (_, km) in iter {
                             // First component to claim a k-mer keeps it
                             // (ids are dense and deterministic).
-                            map.entry(km.packed()).or_insert((base + ci) as u32);
+                            map.get_or_insert(km.packed(), (base + ci) as u32);
                         }
                     }
                 }
@@ -73,18 +74,13 @@ impl RttShared {
             map
         });
         let kmer_setup_cost = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
-        let mut map: HashMap<u64, u32> = HashMap::new();
+        let mut map = PackedKmerTable::new();
         for p in partials {
-            for (k, c) in p {
+            map.reserve(p.len());
+            for (k, c) in p.iter() {
                 // Smallest component id wins, preserving the sequential
                 // first-claim semantics across batch boundaries.
-                map.entry(k)
-                    .and_modify(|cur| {
-                        if c < *cur {
-                            *cur = c;
-                        }
-                    })
-                    .or_insert(c);
+                map.update_min(k, c);
             }
         }
         RttShared {
@@ -98,19 +94,37 @@ impl RttShared {
 
     /// Assign one read: the component with the most shared k-mers, ties to
     /// the smallest component id. `None` if below `min_read_kmers`.
+    ///
+    /// Votes accumulate in a small linear-scan vector instead of a
+    /// per-read `HashMap`: a read's k-mers hit very few distinct
+    /// components, so the scan beats hashing and keeps the loop free of
+    /// per-entry allocations.
     pub fn assign(&self, read: &[u8]) -> Option<u32> {
-        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut votes: Vec<(u32, usize)> = Vec::new();
         let iter = CanonicalKmers::new(read, self.cfg.k).ok()?;
         for (_, km) in iter {
-            if let Some(&c) = self.kmer_to_component.get(&km.packed()) {
-                *counts.entry(c).or_insert(0) += 1;
+            if let Some(c) = self.kmer_to_component.get(km.packed()) {
+                match votes.iter_mut().find(|(vc, _)| *vc == c) {
+                    Some((_, n)) => *n += 1,
+                    None => votes.push((c, 1)),
+                }
             }
         }
-        counts
-            .into_iter()
-            .filter(|&(_, n)| n >= self.cfg.min_read_kmers.max(1))
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .map(|(c, _)| c)
+        let min = self.cfg.min_read_kmers.max(1);
+        let mut best: Option<(u32, usize)> = None;
+        for &(c, n) in &votes {
+            if n < min {
+                continue;
+            }
+            let better = match best {
+                Some((bc, bn)) => n > bn || (n == bn && c < bc),
+                None => true,
+            };
+            if better {
+                best = Some((c, n));
+            }
+        }
+        best.map(|(c, _)| c)
     }
 }
 
@@ -137,11 +151,7 @@ fn stream_chunk(reads: &[Record]) -> usize {
 
 /// Assign a chunk's reads (the OpenMP-parallel inner loop); returns
 /// assignments plus the simulated loop makespan.
-fn assign_chunk(
-    shared: &RttShared,
-    base: usize,
-    chunk: &[Record],
-) -> (Vec<(u32, u32)>, f64) {
+fn assign_chunk(shared: &RttShared, base: usize, chunk: &[Record]) -> (Vec<(u32, u32)>, f64) {
     let items: Vec<usize> = (0..chunk.len()).collect();
     let (results, costs) = parallel_map_timed(&items, |&i| shared.assign(&chunk[i].seq));
     let makespan = simulate_loop(&costs, shared.cfg.threads, shared.cfg.schedule).makespan;
@@ -214,10 +224,7 @@ pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
     drop(guard);
 
     // Each rank writes its own output file; the master concatenates them.
-    let flat: Vec<u32> = my_assignments
-        .iter()
-        .flat_map(|&(r, c)| [r, c])
-        .collect();
+    let flat: Vec<u32> = my_assignments.iter().flat_map(|&(r, c)| [r, c]).collect();
     let t_before = comm.clock.now();
     let gathered = comm.gatherv(0, &pack_u32s(&flat));
     let merged_bytes = if let Some(parts) = gathered {
@@ -231,7 +238,12 @@ pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
             all.sort_unstable();
             all
         });
-        pack_u32s(&merged.iter().flat_map(|&(r, c)| [r, c]).collect::<Vec<u32>>())
+        pack_u32s(
+            &merged
+                .iter()
+                .flat_map(|&(r, c)| [r, c])
+                .collect::<Vec<u32>>(),
+        )
     } else {
         Vec::new()
     };
@@ -351,8 +363,7 @@ mod tests {
     #[test]
     fn empty_reads() {
         let contigs = vec![rec("c0", C0)];
-        let shared =
-            RttShared::prepare(vec![], &contigs, &[vec![0]], ChrysalisConfig::small(8));
+        let shared = RttShared::prepare(vec![], &contigs, &[vec![0]], ChrysalisConfig::small(8));
         let out = rtt_shared_memory(&shared);
         assert!(out.assignments.is_empty());
     }
@@ -404,10 +415,7 @@ pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
     }
     drop(guard);
 
-    let flat: Vec<u32> = my_assignments
-        .iter()
-        .flat_map(|&(r, c)| [r, c])
-        .collect();
+    let flat: Vec<u32> = my_assignments.iter().flat_map(|&(r, c)| [r, c]).collect();
     let t_before = comm.clock.now();
     let gathered = comm.gatherv(0, &pack_u32s(&flat));
     let merged_bytes = if let Some(parts) = gathered {
@@ -420,7 +428,12 @@ pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
             all.sort_unstable();
             all
         });
-        pack_u32s(&merged.iter().flat_map(|&(r, c)| [r, c]).collect::<Vec<u32>>())
+        pack_u32s(
+            &merged
+                .iter()
+                .flat_map(|&(r, c)| [r, c])
+                .collect::<Vec<u32>>(),
+        )
     } else {
         Vec::new()
     };

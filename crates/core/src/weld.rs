@@ -11,10 +11,9 @@
 //! exists*: every k-mer of the mixed window must occur in the read k-mer
 //! table with sufficient count, i.e. real reads span the junction.
 
-use std::collections::{HashMap, HashSet};
-
 use kcount::counter::KmerCounts;
-use seqio::alphabet::revcomp;
+use kmertable::{PackedKmerTable, PackedWeldSet};
+use seqio::alphabet::{base_to_code, complement_base, revcomp};
 use seqio::fasta::Record;
 use seqio::kmer::{CanonicalKmers, Kmer, KmerIter};
 
@@ -22,13 +21,51 @@ use crate::config::ChrysalisConfig;
 
 /// Canonical form of a weld window: the lexicographically smaller of the
 /// window and its reverse complement, so both strands harvest identically.
+///
+/// The comparison walks the window against its reverse complement in place;
+/// only the winning orientation is materialized, so deciding that a window
+/// is already canonical costs no intermediate allocation.
 pub fn canonical_weld(window: &[u8]) -> Vec<u8> {
-    let rc = revcomp(window);
-    if rc.as_slice() < window {
-        rc
+    if revcomp_is_smaller(window) {
+        revcomp(window)
     } else {
         window.to_vec()
     }
+}
+
+/// True when `revcomp(window)` sorts strictly before `window`, computed
+/// byte-by-byte without building the reverse complement.
+#[inline]
+fn revcomp_is_smaller(window: &[u8]) -> bool {
+    let n = window.len();
+    for i in 0..n {
+        let rc = complement_base(window[n - 1 - i]);
+        match rc.cmp(&window[i]) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// Pack a ≤63-base window into its canonical 2-bit `u128` form (the smaller
+/// of forward and reverse-complement packings; MSB-first packing makes
+/// integer order equal lexicographic order, matching [`canonical_weld`]).
+/// `None` if the window contains a non-ACGT base.
+#[inline]
+fn pack_window_canonical(window: &[u8]) -> Option<u128> {
+    debug_assert!(window.len() <= 63, "weld windows fit 126 bits");
+    let mut fwd = 0u128;
+    let mut rc = 0u128;
+    for (i, &b) in window.iter().enumerate() {
+        let code = base_to_code(b)? as u128;
+        fwd = (fwd << 2) | code;
+        // The complement of base i lands at mirrored position n-1-i, whose
+        // MSB-first shift is 2*i.
+        rc |= ((!code) & 3) << (2 * i);
+    }
+    Some(fwd.min(rc))
 }
 
 /// One occurrence of a seed within a contig.
@@ -48,10 +85,15 @@ pub struct SeedOcc {
 /// accounted as an OpenMP-parallel region (sharded hashing, like the k-mer
 /// counter), matching the paper's attribution of "non-parallel regions" to
 /// the weld-set setup and final output only.
+/// Occurrence lists live in a contiguous pool; the open-addressing
+/// [`PackedKmerTable`] maps a packed canonical seed to its pool slot, so the
+/// hot probe (one per contig window per candidate pair) never hashes with
+/// SipHash or chases `HashMap` buckets.
 #[derive(Debug, Clone)]
 pub struct KmerContigMap {
     seed_len: usize,
-    map: HashMap<u64, Vec<SeedOcc>>,
+    index: PackedKmerTable,
+    pool: Vec<Vec<SeedOcc>>,
 }
 
 impl KmerContigMap {
@@ -65,33 +107,53 @@ impl KmerContigMap {
     pub fn build_with_offset(contigs: &[Record], k: usize, offset: usize) -> Self {
         assert!(k >= 4, "seed construction needs k >= 4");
         let seed_len = k - 1;
-        let mut map: HashMap<u64, Vec<SeedOcc>> = HashMap::new();
+        let mut index = PackedKmerTable::new();
+        let mut pool: Vec<Vec<SeedOcc>> = Vec::new();
         for (i, c) in contigs.iter().enumerate() {
             let Ok(iter) = KmerIter::new(&c.seq, seed_len) else {
                 continue;
             };
             for (pos, km) in iter {
                 let canon = km.canonical();
-                map.entry(canon.packed()).or_default().push(SeedOcc {
+                let next = pool.len() as u32;
+                let slot = index.get_or_insert(canon.packed(), next);
+                if slot == next {
+                    pool.push(Vec::new());
+                }
+                pool[slot as usize].push(SeedOcc {
                     contig: (offset + i) as u32,
                     pos: pos as u32,
                     forward: canon == km,
                 });
             }
         }
-        KmerContigMap { seed_len, map }
+        KmerContigMap {
+            seed_len,
+            index,
+            pool,
+        }
     }
 
     /// Merge another partial map into this one (occurrence lists keep
     /// ascending contig order when partials are merged in batch order).
     pub fn merge(&mut self, other: KmerContigMap) {
         debug_assert_eq!(self.seed_len, other.seed_len);
-        if self.map.is_empty() {
-            self.map = other.map;
+        if self.index.is_empty() {
+            *self = other;
             return;
         }
-        for (k, mut v) in other.map {
-            self.map.entry(k).or_default().append(&mut v);
+        let KmerContigMap {
+            index, mut pool, ..
+        } = other;
+        for (key, idx) in index.iter() {
+            let mut occs = std::mem::take(&mut pool[idx as usize]);
+            let next = self.pool.len() as u32;
+            let slot = self.index.get_or_insert(key, next);
+            if slot == next {
+                self.pool.push(occs);
+            } else {
+                self.pool[slot as usize].append(&mut occs);
+            }
         }
     }
 
@@ -101,21 +163,22 @@ impl KmerContigMap {
     }
 
     /// Occurrences of a canonical seed (empty slice if none).
+    #[inline]
     pub fn occurrences(&self, canon: Kmer) -> &[SeedOcc] {
-        self.map
-            .get(&canon.packed())
-            .map(Vec::as_slice)
+        self.index
+            .get(canon.packed())
+            .map(|i| self.pool[i as usize].as_slice())
             .unwrap_or(&[])
     }
 
     /// Number of distinct seeds.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// True if no seeds were indexed.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
     }
 }
 
@@ -167,23 +230,52 @@ fn window_around(seq: &[u8], pos: usize, len: usize, left: usize, right: usize) 
     Some(&seq[pos - left..pos + len + right])
 }
 
+/// Flanks around one seed occurrence, oriented so the seed reads in its
+/// canonical direction. Flanks are at most `k/2 <= 16` bases, so they live
+/// in fixed arrays — extracting them never touches the heap.
+#[derive(Debug, Clone, Copy)]
+struct Flanks {
+    left: [u8; MAX_FLANK],
+    right: [u8; MAX_FLANK],
+    n: usize,
+}
+
+/// Upper bound on the flank length (`k/2` with `k <= 32`).
+const MAX_FLANK: usize = 16;
+
+impl Flanks {
+    fn left(&self) -> &[u8] {
+        &self.left[..self.n]
+    }
+
+    fn right(&self) -> &[u8] {
+        &self.right[..self.n]
+    }
+}
+
 /// Orient the region around one seed occurrence so the seed reads in its
-/// canonical direction; returns (left flank, right flank) as owned bytes.
-fn oriented_flanks(
-    seq: &[u8],
-    occ: SeedOcc,
-    seed_len: usize,
-    flank: usize,
-) -> Option<(Vec<u8>, Vec<u8>)> {
+/// canonical direction.
+fn oriented_flanks(seq: &[u8], occ: SeedOcc, seed_len: usize, flank: usize) -> Option<Flanks> {
+    assert!(flank <= MAX_FLANK, "flank k/2 fits in {MAX_FLANK} bases");
     let pos = occ.pos as usize;
     let w = window_around(seq, pos, seed_len, flank, flank)?;
+    let mut f = Flanks {
+        left: [0; MAX_FLANK],
+        right: [0; MAX_FLANK],
+        n: flank,
+    };
     if occ.forward {
-        Some((w[..flank].to_vec(), w[flank + seed_len..].to_vec()))
+        f.left[..flank].copy_from_slice(&w[..flank]);
+        f.right[..flank].copy_from_slice(&w[flank + seed_len..]);
     } else {
-        // Reverse-complement the whole window; flanks swap sides.
-        let rc = revcomp(w);
-        Some((rc[..flank].to_vec(), rc[flank + seed_len..].to_vec()))
+        // Reverse-complement orientation: flanks swap sides, each read
+        // backwards and complemented.
+        for i in 0..flank {
+            f.left[i] = complement_base(w[w.len() - 1 - i]);
+            f.right[i] = complement_base(w[flank - 1 - i]);
+        }
     }
+    Some(f)
 }
 
 /// Cap on seed occurrences considered per candidate list: highly repetitive
@@ -197,6 +289,12 @@ const MAX_OCCS_PER_SEED: usize = 16;
 /// weldmer (this contig's left flank + seed + other contig's right flank,
 /// in the seed's canonical orientation) and keep it when the reads support
 /// it. Returns canonical weld sequences, deduplicated within the contig.
+///
+/// The candidate loop is allocation-free until a weld is *kept*: windows
+/// are assembled in one reused buffer, dedup goes through a packed `u128`
+/// set, support is checked on the raw window (k-mer support is
+/// strand-agnostic), and only surviving welds are materialized via
+/// [`canonical_weld`].
 pub fn harvest_contig(
     contig_idx: u32,
     contigs: &[Record],
@@ -208,7 +306,9 @@ pub fn harvest_contig(
     let seed_len = kmap.seed_len();
     let flank = cfg.flank();
     let mut out = Vec::new();
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut seen = PackedWeldSet::new();
+    let mut window: Vec<u8> = Vec::with_capacity(2 * flank + seed_len);
+    let mut seed_bases = [0u8; 32];
 
     let Ok(iter) = KmerIter::new(seq, seed_len) else {
         return out;
@@ -225,32 +325,36 @@ pub fn harvest_contig(
             pos: pos as u32,
             forward: canon == km,
         };
-        let Some((my_left, my_right)) = oriented_flanks(seq, me, seed_len, flank) else {
+        let Some(mine) = oriented_flanks(seq, me, seed_len, flank) else {
             continue;
         };
-        let seed_bases = canon.bases();
+        for (j, b) in seed_bases[..seed_len].iter_mut().enumerate() {
+            *b = seqio::alphabet::code_to_base(canon.code_at(j));
+        }
+        let seed_bases = &seed_bases[..seed_len];
         for &other in occs {
             if other.contig == contig_idx {
                 continue;
             }
             let other_seq = &contigs[other.contig as usize].seq;
-            let Some((other_left, other_right)) =
-                oriented_flanks(other_seq, other, seed_len, flank)
-            else {
+            let Some(theirs) = oriented_flanks(other_seq, other, seed_len, flank) else {
                 continue;
             };
             // Two mixed weldmers per pair: A-left + seed + B-right and
             // B-left + seed + A-right.
-            for (left, right) in [(&my_left, &other_right), (&other_left, &my_right)] {
-                let mut w = Vec::with_capacity(2 * flank + seed_len);
-                w.extend_from_slice(left);
-                w.extend_from_slice(&seed_bases);
-                w.extend_from_slice(right);
-                let weld = canonical_weld(&w);
-                if !seen.contains(&weld) && support.supports(&weld) {
-                    seen.insert(weld.clone());
-                    out.push(weld);
+            for (left, right) in [(mine.left(), theirs.right()), (theirs.left(), mine.right())] {
+                window.clear();
+                window.extend_from_slice(left);
+                window.extend_from_slice(seed_bases);
+                window.extend_from_slice(right);
+                let Some(packed) = pack_window_canonical(&window) else {
+                    continue;
+                };
+                if seen.contains(packed) || !support.supports(&window) {
+                    continue;
                 }
+                seen.insert(packed);
+                out.push(canonical_weld(&window));
             }
         }
     }
@@ -261,6 +365,7 @@ pub fn harvest_contig(
 mod tests {
     use super::*;
     use kcount::counter::{count_kmers, CounterConfig};
+    use std::collections::HashSet;
 
     fn rec(id: &str, seq: &[u8]) -> Record {
         Record::new(id, seq.to_vec())
@@ -292,7 +397,8 @@ mod tests {
         [&A_LEFT[A_LEFT.len() - flank..], SEED, &B_RIGHT[..flank]].concat()
     }
 
-    fn support_counts(reads: &[Vec<u8>]) -> KmerCounts {
+    /// Borrowed windows: callers pass slices, no per-call cloning.
+    fn support_counts(reads: &[&[u8]]) -> KmerCounts {
         count_kmers(reads, CounterConfig::new(K))
     }
 
@@ -314,7 +420,7 @@ mod tests {
     #[test]
     fn support_requires_all_kmers() {
         let window = junction_window();
-        let counts = support_counts(&[window.clone()]);
+        let counts = support_counts(&[&window]);
         let sup = WeldSupport::new(&counts, 1);
         assert!(sup.supports(&window));
         assert!(sup.supports(&revcomp(&window)), "strand-agnostic");
@@ -325,10 +431,10 @@ mod tests {
     #[test]
     fn support_threshold() {
         let window = junction_window();
-        let counts = support_counts(&[window.clone()]);
+        let counts = support_counts(&[&window]);
         assert!(WeldSupport::new(&counts, 1).supports(&window));
         assert!(!WeldSupport::new(&counts, 2).supports(&window));
-        let counts2 = support_counts(&[window.clone(), window.clone()]);
+        let counts2 = support_counts(&[&window, &window]);
         assert!(WeldSupport::new(&counts2, 2).supports(&window));
     }
 
@@ -336,13 +442,17 @@ mod tests {
     fn harvest_finds_supported_junction() {
         let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
         let kmap = KmerContigMap::build(&contigs, K);
-        let counts = support_counts(&[junction_window()]);
+        let w = junction_window();
+        let counts = support_counts(&[&w]);
         let sup = WeldSupport::new(&counts, 1);
         let welds = harvest_contig(0, &contigs, &kmap, &sup, &cfg());
         assert!(
             welds.contains(&canonical_weld(&junction_window())),
             "junction weld harvested: {:?}",
-            welds.iter().map(|w| String::from_utf8_lossy(w).to_string()).collect::<Vec<_>>()
+            welds
+                .iter()
+                .map(|w| String::from_utf8_lossy(w).to_string())
+                .collect::<Vec<_>>()
         );
         // Contig B harvests the same weld from its side.
         let welds_b = harvest_contig(1, &contigs, &kmap, &sup, &cfg());
@@ -365,7 +475,7 @@ mod tests {
             rec("b", b"AAAGCGGCACTTGTGAAGTGTTCCCCAC"),
         ];
         let kmap = KmerContigMap::build(&contigs, K);
-        let counts = support_counts(&[contigs[0].seq.clone()]);
+        let counts = support_counts(&[&contigs[0].seq]);
         let sup = WeldSupport::new(&counts, 1);
         assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
     }
@@ -376,7 +486,8 @@ mod tests {
         // orientation makes the harvested weld identical.
         let contigs_fwd = vec![rec("a", &contig_a()), rec("b", &contig_b())];
         let contigs_rc = vec![rec("a", &contig_a()), rec("b", &revcomp(&contig_b()))];
-        let counts = support_counts(&[junction_window()]);
+        let w = junction_window();
+        let counts = support_counts(&[&w]);
         let sup = WeldSupport::new(&counts, 1);
         let w_fwd: HashSet<Vec<u8>> = harvest_contig(
             0,
@@ -421,7 +532,7 @@ mod tests {
         let kmap = KmerContigMap::build(&contigs, K);
         let seed = Kmer::from_bases(SEED).unwrap().canonical();
         assert!(kmap.occurrences(seed).len() > MAX_OCCS_PER_SEED);
-        let counts = support_counts(&contigs.iter().map(|c| c.seq.clone()).collect::<Vec<_>>());
+        let counts = support_counts(&contigs.iter().map(|c| c.seq.as_slice()).collect::<Vec<_>>());
         let sup = WeldSupport::new(&counts, 1);
         for i in 0..contigs.len() as u32 {
             for weld in harvest_contig(i, &contigs, &kmap, &sup, &cfg()) {
@@ -445,7 +556,7 @@ mod tests {
     fn short_contig_harvests_nothing() {
         let contigs = vec![rec("s", b"ACGTACG"), rec("t", b"ACGTACG")];
         let kmap = KmerContigMap::build(&contigs, K);
-        let counts = support_counts(&[b"ACGTACG".to_vec()]);
+        let counts = support_counts(&[b"ACGTACG".as_slice()]);
         let sup = WeldSupport::new(&counts, 1);
         assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
     }

@@ -5,8 +5,7 @@
 //! in the component's contigs, weighted by how often reads/contigs support
 //! them. Butterfly then reconstructs transcripts as weighted paths.
 
-use std::collections::HashMap;
-
+use kmertable::PackedKmerTable;
 use seqio::kmer::{Kmer, KmerIter};
 
 /// Dense node id within one graph.
@@ -18,8 +17,10 @@ pub struct DeBruijnGraph {
     k: usize,
     /// Node id -> (k-1)-mer.
     nodes: Vec<Kmer>,
-    /// (k-1)-mer -> node id.
-    index: HashMap<Kmer, NodeId>,
+    /// Packed (k-1)-mer -> node id. All nodes share one word size, so the
+    /// packed `u64` is a unique key and the open-addressing table makes
+    /// `intern` (two probes per k-mer threaded) allocation- and SipHash-free.
+    index: PackedKmerTable,
     /// Out-adjacency: node -> (successor, weight).
     out: Vec<Vec<(NodeId, u32)>>,
     /// In-degree per node (for source detection).
@@ -35,7 +36,7 @@ impl DeBruijnGraph {
         DeBruijnGraph {
             k,
             nodes: Vec::new(),
-            index: HashMap::new(),
+            index: PackedKmerTable::new(),
             out: Vec::new(),
             indeg: Vec::new(),
             edge_count: 0,
@@ -68,14 +69,13 @@ impl DeBruijnGraph {
     }
 
     fn intern(&mut self, km: Kmer) -> NodeId {
-        if let Some(&id) = self.index.get(&km) {
-            return id;
+        let next = self.nodes.len() as NodeId;
+        let id = self.index.get_or_insert(km.packed(), next);
+        if id == next {
+            self.nodes.push(km);
+            self.out.push(Vec::new());
+            self.indeg.push(0);
         }
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(km);
-        self.index.insert(km, id);
-        self.out.push(Vec::new());
-        self.indeg.push(0);
         id
     }
 
@@ -112,7 +112,7 @@ impl DeBruijnGraph {
 
     /// Look up a node by its (k−1)-mer.
     pub fn node_of(&self, km: Kmer) -> Option<NodeId> {
-        self.index.get(&km).copied()
+        self.index.get(km.packed())
     }
 
     /// Successors of a node with edge weights, heaviest first.

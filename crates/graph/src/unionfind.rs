@@ -15,7 +15,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "UnionFind supports up to u32::MAX elements");
+        assert!(
+            n <= u32::MAX as usize,
+            "UnionFind supports up to u32::MAX elements"
+        );
         UnionFind {
             parent: (0..n as u32).collect(),
             size: vec![1; n],
@@ -83,7 +86,7 @@ impl UnionFind {
         let mut comp_of_root = vec![usize::MAX; n];
         let mut comp_of = vec![0usize; n];
         let mut members: Vec<Vec<usize>> = Vec::new();
-        for x in 0..n {
+        for (x, slot) in comp_of.iter_mut().enumerate() {
             let r = self.find(x);
             let c = if comp_of_root[r] == usize::MAX {
                 let c = members.len();
@@ -93,7 +96,7 @@ impl UnionFind {
             } else {
                 comp_of_root[r]
             };
-            comp_of[x] = c;
+            *slot = c;
             members[c].push(x);
         }
         (comp_of, members)

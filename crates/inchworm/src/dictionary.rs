@@ -6,9 +6,8 @@
 //! footprint; we reproduce the structure (the footprint scales the same
 //! way, just on smaller simulated datasets).
 
-use std::collections::HashMap;
-
 use kcount::counter::KmerCounts;
+use kmertable::PackedKmerTable;
 use seqio::kmer::Kmer;
 
 /// Abundance-sorted dictionary over canonical k-mers.
@@ -17,8 +16,10 @@ pub struct Dictionary {
     k: usize,
     /// Canonical k-mers in decreasing-count order (ties: k-mer order).
     sorted: Vec<(Kmer, u32)>,
-    /// Canonical packed k-mer -> count, for O(1) extension lookups.
-    counts: HashMap<u64, u32>,
+    /// Canonical packed k-mer -> count, for O(1) extension lookups. The
+    /// open-addressing table keeps the greedy extension probes (4 per
+    /// extension step, the Inchworm inner loop) SipHash-free.
+    counts: PackedKmerTable,
 }
 
 impl Dictionary {
@@ -26,17 +27,17 @@ impl Dictionary {
     /// below `min_count` — the error-k-mer filter.
     pub fn from_counts(table: KmerCounts, min_count: u32) -> Self {
         let k = table.k();
-        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut counts = PackedKmerTable::new();
         for (km, c) in table.iter() {
             if c >= min_count {
                 // Canonicalize defensively: a non-canonical table still
                 // yields a strand-merged dictionary.
-                *counts.entry(km.canonical().packed()).or_insert(0) += c;
+                counts.add(km.canonical().packed(), c);
             }
         }
         let mut sorted: Vec<(Kmer, u32)> = counts
             .iter()
-            .map(|(&p, &c)| (Kmer::from_packed(p, k).expect("valid"), c))
+            .map(|(p, c)| (Kmer::from_packed(p, k).expect("valid"), c))
             .collect();
         sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Dictionary { k, sorted, counts }
@@ -58,11 +59,9 @@ impl Dictionary {
     }
 
     /// Count of `km` (any strand; canonicalized internally). 0 if absent.
+    #[inline]
     pub fn count(&self, km: Kmer) -> u32 {
-        self.counts
-            .get(&km.canonical().packed())
-            .copied()
-            .unwrap_or(0)
+        self.counts.get(km.canonical().packed()).unwrap_or(0)
     }
 
     /// Iterate k-mers in decreasing-abundance order.

@@ -1,13 +1,14 @@
 //! Sharded parallel k-mer counting.
 //!
-//! Jellyfish's core trick is a lock-free hash table sized to the k-mer
-//! spectrum; we reproduce the behaviour with a sharded table (one lock per
-//! shard, keys spread by a multiplicative hash) counted over reads in
-//! parallel. The result is an owned, queryable count table.
+//! Jellyfish's core trick is a hash table specialised for packed k-mers;
+//! we reproduce the behaviour with [`kmertable`]'s open-addressing tables:
+//! a sharded concurrent table (one lock per shard, keys spread by the high
+//! bits of a multiplicative hash) counted over reads in parallel, merged
+//! into an owned, queryable [`PackedKmerTable`]. Compared to the original
+//! std-HashMap implementation this removes SipHash and per-entry boxing
+//! from the hottest loop of the whole pipeline.
 
-use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use kmertable::{PackedKmerTable, ShardedKmerTable};
 use seqio::kmer::{Kmer, KmerIter};
 
 /// Configuration for a counting pass.
@@ -36,11 +37,11 @@ impl CounterConfig {
     }
 }
 
-/// An owned k-mer count table.
+/// An owned k-mer count table over an open-addressing packed-k-mer table.
 #[derive(Debug, Clone)]
 pub struct KmerCounts {
     k: usize,
-    counts: HashMap<u64, u32>,
+    counts: PackedKmerTable,
 }
 
 impl KmerCounts {
@@ -48,11 +49,11 @@ impl KmerCounts {
     pub fn empty(k: usize) -> Self {
         KmerCounts {
             k,
-            counts: HashMap::new(),
+            counts: PackedKmerTable::new(),
         }
     }
 
-    pub(crate) fn from_map(k: usize, counts: HashMap<u64, u32>) -> Self {
+    pub(crate) fn from_table(k: usize, counts: PackedKmerTable) -> Self {
         KmerCounts { k, counts }
     }
 
@@ -75,12 +76,12 @@ impl KmerCounts {
     /// canonicalize first if the table was built canonically.
     pub fn get(&self, km: Kmer) -> u32 {
         debug_assert_eq!(km.k(), self.k);
-        self.counts.get(&km.packed()).copied().unwrap_or(0)
+        self.counts.get(km.packed()).unwrap_or(0)
     }
 
     /// Total k-mer instances counted (sum of counts).
     pub fn total(&self) -> u64 {
-        self.counts.values().map(|&c| c as u64).sum()
+        self.counts.iter().map(|(_, c)| c as u64).sum()
     }
 
     /// Iterate `(kmer, count)` in unspecified order.
@@ -88,7 +89,12 @@ impl KmerCounts {
         let k = self.k;
         self.counts
             .iter()
-            .map(move |(&p, &c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
+            .map(move |(p, c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
+    }
+
+    /// Iterate `(packed kmer, count)` without decoding (hot-path form).
+    pub fn iter_packed(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.counts.iter()
     }
 
     /// Drain into a vector sorted by decreasing count (ties: k-mer order) —
@@ -97,7 +103,7 @@ impl KmerCounts {
         let k = self.k;
         let mut v: Vec<(Kmer, u32)> = self
             .counts
-            .into_iter()
+            .iter()
             .map(|(p, c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -107,59 +113,39 @@ impl KmerCounts {
     /// Remove k-mers with count below `min`, returning how many were removed.
     pub fn retain_min(&mut self, min: u32) -> usize {
         let before = self.counts.len();
-        self.counts.retain(|_, c| *c >= min);
+        self.counts.retain(|_, c| c >= min);
         before - self.counts.len()
     }
 
     /// Insert or add a count directly (used by the dump loader).
     pub fn add(&mut self, km: Kmer, count: u32) {
         debug_assert_eq!(km.k(), self.k);
-        *self.counts.entry(km.packed()).or_insert(0) += count;
+        self.counts.add(km.packed(), count);
     }
 }
 
-#[inline]
-fn shard_of(packed: u64, shards: usize) -> usize {
-    // Fibonacci hashing spreads consecutive k-mers across shards.
-    ((packed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % shards
-}
-
 /// Count all k-mers of `reads` per `cfg`. Runs the counting loop over the
-/// configured worker threads, one shard lock per hash slice.
+/// configured worker threads; each worker stages counts in a thread-local
+/// [`PackedKmerTable`] and flushes into the sharded table, which groups the
+/// flush per shard so every lock is taken once per read.
 pub fn count_kmers<S: AsRef<[u8]> + Sync>(reads: &[S], cfg: CounterConfig) -> KmerCounts {
-    let shards = cfg.shards.max(1);
-    let tables: Vec<Mutex<HashMap<u64, u32>>> =
-        (0..shards).map(|_| Mutex::new(HashMap::new())).collect();
+    let shared = ShardedKmerTable::new(cfg.shards.max(1));
 
     omp::parallel_map(reads, cfg.threads, |read| {
         // Small thread-local staging buffer cuts lock traffic.
-        let mut local: HashMap<u64, u32> = HashMap::new();
+        let mut local = PackedKmerTable::new();
         let iter = match KmerIter::new(read.as_ref(), cfg.k) {
             Ok(it) => it,
             Err(_) => return,
         };
         for (_, km) in iter {
             let km = if cfg.canonical { km.canonical() } else { km };
-            *local.entry(km.packed()).or_insert(0) += 1;
+            local.add(km.packed(), 1);
         }
-        for (packed, c) in local {
-            let mut shard = tables[shard_of(packed, shards)].lock();
-            *shard.entry(packed).or_insert(0) += c;
-        }
+        shared.absorb(&local);
     });
 
-    let mut merged = HashMap::new();
-    for t in tables {
-        let m = t.into_inner();
-        if merged.is_empty() {
-            merged = m;
-        } else {
-            for (p, c) in m {
-                *merged.entry(p).or_insert(0) += c;
-            }
-        }
-    }
-    KmerCounts::from_map(cfg.k, merged)
+    KmerCounts::from_table(cfg.k, shared.into_merged())
 }
 
 #[cfg(test)]

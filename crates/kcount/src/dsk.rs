@@ -83,9 +83,19 @@ pub fn count_kmers_dsk<S: AsRef<[u8]>>(reads: &[S], cfg: &DskConfig) -> Result<D
             .collect::<Result<_>>()?;
         for read in reads {
             if cfg.counter.canonical {
-                spill(CanonicalKmers::new(read.as_ref(), k)?, &mut writers, partitions, &mut spilled)?;
+                spill(
+                    CanonicalKmers::new(read.as_ref(), k)?,
+                    &mut writers,
+                    partitions,
+                    &mut spilled,
+                )?;
             } else {
-                spill(KmerIter::new(read.as_ref(), k)?, &mut writers, partitions, &mut spilled)?;
+                spill(
+                    KmerIter::new(read.as_ref(), k)?,
+                    &mut writers,
+                    partitions,
+                    &mut spilled,
+                )?;
             }
         }
         for w in &mut writers {

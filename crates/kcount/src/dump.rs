@@ -46,9 +46,9 @@ pub fn read_counts<R: Read>(reader: R, k: usize) -> Result<KmerCounts> {
         if trimmed.is_empty() {
             continue;
         }
-        let (kmer_s, count_s) = trimmed.split_once(' ').ok_or_else(|| {
-            Error::Format(format!("dump line {line_no}: expected 'KMER COUNT'"))
-        })?;
+        let (kmer_s, count_s) = trimmed
+            .split_once(' ')
+            .ok_or_else(|| Error::Format(format!("dump line {line_no}: expected 'KMER COUNT'")))?;
         if kmer_s.len() != k {
             return Err(Error::Format(format!(
                 "dump line {line_no}: k-mer length {} != expected k={k}",

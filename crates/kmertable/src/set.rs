@@ -1,0 +1,133 @@
+//! An open-addressing set for packed weld windows (`u128` keys).
+
+/// Empty-slot sentinel. Weld windows are at most 63 bases = 126 bits, so a
+/// packed window can never equal `u128::MAX`.
+const EMPTY: u128 = u128::MAX;
+
+const MIN_CAPACITY: usize = 16;
+
+/// Dedup set for ≤63-base 2-bit-packed windows (weld candidates).
+///
+/// GraphFromFasta loop 1 deduplicates weld windows per contig; with a
+/// `HashSet<Vec<u8>>` every *candidate* costs an allocation plus a SipHash
+/// over the bytes. Packing the canonical window into a `u128` makes the
+/// membership test two multiplies and a probe, with no allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct PackedWeldSet {
+    keys: Vec<u128>,
+    len: usize,
+    mask: usize,
+}
+
+/// Mix a packed window into a hash: SplitMix64 finalizer over both halves.
+#[inline(always)]
+fn mix128(key: u128) -> u64 {
+    let lo = crate::mix64(key as u64);
+    let hi = crate::mix64((key >> 64) as u64);
+    lo ^ hi.rotate_left(32)
+}
+
+impl PackedWeldSet {
+    /// An empty set; allocates nothing until the first insert.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored windows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn probe(&self, key: u128) -> usize {
+        let mut i = (mix128(key) as usize) & self.mask;
+        loop {
+            let k = unsafe { *self.keys.get_unchecked(i) };
+            if k == key || k == EMPTY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// True if `key` was already inserted.
+    pub fn contains(&self, key: u128) -> bool {
+        debug_assert_ne!(key, EMPTY, "packed weld windows use at most 126 bits");
+        if self.keys.is_empty() {
+            return false;
+        }
+        self.keys[self.probe(key)] == key
+    }
+
+    /// Insert `key`; returns `true` if it was newly added.
+    pub fn insert(&mut self, key: u128) -> bool {
+        debug_assert_ne!(key, EMPTY, "packed weld windows use at most 126 bits");
+        if self.keys.is_empty() {
+            self.keys = vec![EMPTY; MIN_CAPACITY];
+            self.mask = MIN_CAPACITY - 1;
+        } else if (self.len + 1) * 4 > self.keys.len() * 3 {
+            let doubled = self.keys.len() * 2;
+            let old = std::mem::replace(&mut self.keys, vec![EMPTY; doubled]);
+            self.mask = doubled - 1;
+            for k in old {
+                if k != EMPTY {
+                    let i = self.probe(k);
+                    self.keys[i] = k;
+                }
+            }
+        }
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            false
+        } else {
+            self.keys[i] = key;
+            self.len += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = PackedWeldSet::new();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn grows_with_many_windows() {
+        let mut s = PackedWeldSet::new();
+        for i in 0..5000u128 {
+            assert!(s.insert(i * 0x1_0000_0001));
+        }
+        assert_eq!(s.len(), 5000);
+        for i in 0..5000u128 {
+            assert!(s.contains(i * 0x1_0000_0001));
+            assert!(!s.insert(i * 0x1_0000_0001));
+        }
+    }
+
+    #[test]
+    fn high_bits_participate_in_hash() {
+        // Keys differing only above bit 64 must not all collide.
+        let mut s = PackedWeldSet::new();
+        for i in 0..100u128 {
+            s.insert(i << 64 | 7);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(99u128 << 64 | 7));
+        assert!(!s.contains(100u128 << 64 | 7));
+    }
+}

@@ -1,0 +1,178 @@
+//! The concurrent counting table: per-shard locks over [`PackedKmerTable`]s.
+
+use parking_lot::Mutex;
+
+use crate::mix64;
+use crate::table::PackedKmerTable;
+
+/// A sharded concurrent k-mer table for the parallel counting pass.
+///
+/// Keys are spread over `S` shards by the *high* bits of the same
+/// multiplicative hash whose *low* bits pick the slot inside a shard, so
+/// shard choice and probe position never correlate. Each shard is a plain
+/// [`PackedKmerTable`] behind a mutex; worker threads stage counts in a
+/// thread-local table and flush with [`absorb`](Self::absorb), which sorts
+/// the staged entries by shard and takes each lock exactly once.
+#[derive(Debug)]
+pub struct ShardedKmerTable {
+    shards: Vec<Mutex<PackedKmerTable>>,
+    shard_bits: u32,
+}
+
+impl ShardedKmerTable {
+    /// A table with `shards` shards (rounded up to a power of two, min 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedKmerTable {
+            shards: (0..n).map(|_| Mutex::new(PackedKmerTable::new())).collect(),
+            shard_bits: n.trailing_zeros(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index of a key: the top `shard_bits` of the mixed hash.
+    #[inline(always)]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (mix64(key) >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Add `delta` to `key`'s count (locks one shard).
+    pub fn add(&self, key: u64, delta: u32) {
+        self.shards[self.shard_of(key)].lock().add(key, delta);
+    }
+
+    /// Current count of `key` (locks one shard).
+    pub fn get(&self, key: u64) -> Option<u32> {
+        self.shards[self.shard_of(key)].lock().get(key)
+    }
+
+    /// Flush a thread-local staging table into the shared shards, grouping
+    /// entries per shard so each lock is taken once per flush.
+    pub fn absorb(&self, local: &PackedKmerTable) {
+        if local.is_empty() {
+            return;
+        }
+        let mut grouped: Vec<Vec<(u64, u32)>> = vec![Vec::new(); self.shards.len()];
+        for (k, v) in local.iter() {
+            grouped[self.shard_of(k)].push((k, v));
+        }
+        for (si, entries) in grouped.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock();
+            shard.reserve(entries.len());
+            for (k, v) in entries {
+                shard.add(k, v);
+            }
+        }
+    }
+
+    /// Total distinct keys across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge all shards into one owned table. Shards are disjoint by
+    /// construction, so this is a move of each entry, not a re-count.
+    pub fn into_merged(self) -> PackedKmerTable {
+        let mut shards = self.shards.into_iter().map(Mutex::into_inner);
+        let Some(mut merged) = shards.next() else {
+            return PackedKmerTable::new();
+        };
+        for shard in shards {
+            if merged.len() < shard.len() {
+                let big = shard;
+                let small = std::mem::replace(&mut merged, big);
+                merged.reserve(small.len());
+                for (k, v) in small.iter() {
+                    merged.insert(k, v);
+                }
+            } else {
+                merged.reserve(shard.len());
+                for (k, v) in shard.iter() {
+                    merged.insert(k, v);
+                }
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedKmerTable::new(0).shards(), 1);
+        assert_eq!(ShardedKmerTable::new(5).shards(), 8);
+        assert_eq!(ShardedKmerTable::new(64).shards(), 64);
+    }
+
+    #[test]
+    fn add_and_get_across_shards() {
+        let t = ShardedKmerTable::new(8);
+        for k in 0..1000u64 {
+            t.add(k, 1);
+            t.add(k, 1);
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k), Some(2));
+        }
+    }
+
+    #[test]
+    fn absorb_groups_by_shard() {
+        let t = ShardedKmerTable::new(4);
+        let mut local = PackedKmerTable::new();
+        for k in 0..500u64 {
+            local.add(k, 3);
+        }
+        t.absorb(&local);
+        t.absorb(&local);
+        let merged = t.into_merged();
+        assert_eq!(merged.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(merged.get(k), Some(6));
+        }
+    }
+
+    #[test]
+    fn concurrent_counting_matches_serial() {
+        let t = ShardedKmerTable::new(8);
+        std::thread::scope(|s| {
+            for _tid in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    // All threads hit the same keys to contend on shards.
+                    for k in 0..2000u64 {
+                        t.add(k, 1);
+                    }
+                });
+            }
+        });
+        for k in 0..2000u64 {
+            assert_eq!(t.get(k), Some(4), "key {k}");
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_is_empty() {
+        assert!(ShardedKmerTable::new(4).into_merged().is_empty());
+    }
+}

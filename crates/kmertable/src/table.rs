@@ -1,0 +1,400 @@
+//! The single-threaded open-addressing table: packed `u64` k-mer → `u32`.
+
+use crate::mix64;
+
+/// Slot sentinel for "empty". A real packed k-mer only equals `u64::MAX`
+/// for the all-T 32-mer, which is stored out-of-line (`max_key`), so every
+/// in-array key is unambiguous.
+const EMPTY: u64 = u64::MAX;
+
+/// Minimum allocated capacity once the table holds anything.
+const MIN_CAPACITY: usize = 16;
+
+/// Open-addressing, linear-probing hash table from packed k-mers to `u32`
+/// values (counts, component ids, node ids, occurrence-pool indices).
+///
+/// Insert-or-update only — no tombstones. [`retain`](Self::retain) rebuilds
+/// the backing array, which is fine off the hot path (abundance filtering
+/// runs once per pipeline stage).
+#[derive(Debug, Clone, Default)]
+pub struct PackedKmerTable {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    /// Occupied in-array slots (excludes the out-of-line `max_key`).
+    occupied: usize,
+    mask: usize,
+    /// Value for the key `u64::MAX` (the all-T 32-mer), stored out-of-line
+    /// because `u64::MAX` is the in-array empty sentinel.
+    max_key: Option<u32>,
+}
+
+impl PackedKmerTable {
+    /// An empty table; allocates nothing until the first insert.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table pre-sized for `n` distinct keys without rehashing.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = Self::new();
+        if n > 0 {
+            t.allocate(Self::capacity_for(n));
+        }
+        t
+    }
+
+    /// Smallest power-of-two capacity holding `n` keys under 1/2 load.
+    fn capacity_for(n: usize) -> usize {
+        (n * 2 + 1).next_power_of_two().max(MIN_CAPACITY)
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        self.keys = vec![EMPTY; capacity];
+        self.vals = vec![0; capacity];
+        self.mask = capacity - 1;
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.occupied + usize::from(self.max_key.is_some())
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocated slot count.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Slot index of `key`, or of the empty slot where it would go.
+    /// Requires a non-full table (guaranteed by the 1/2 load cap).
+    #[inline(always)]
+    fn probe(&self, key: u64) -> usize {
+        let mut i = (mix64(key) as usize) & self.mask;
+        loop {
+            let k = unsafe { *self.keys.get_unchecked(i) };
+            if k == key || k == EMPTY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Grow if inserting one more key would exceed 1/2 load. The low cap
+    /// trades slot memory (12 bytes each) for short probe chains on the
+    /// pipeline's probe-dominated phases.
+    #[inline]
+    fn ensure_room(&mut self) {
+        if self.keys.is_empty() {
+            self.allocate(MIN_CAPACITY);
+        } else if (self.occupied + 1) * 2 > self.keys.len() {
+            self.grow(self.keys.len() * 2);
+        }
+    }
+
+    fn grow(&mut self, capacity: usize) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; capacity]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![0; capacity];
+        self.mask = capacity - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// Value of `key`, if present.
+    #[inline(always)]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        if key == EMPTY {
+            return self.max_key;
+        }
+        if self.keys.is_empty() {
+            return None;
+        }
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            Some(self.vals[i])
+        } else {
+            None
+        }
+    }
+
+    /// Insert `key → val`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, val: u32) -> Option<u32> {
+        if key == EMPTY {
+            return self.max_key.replace(val);
+        }
+        self.ensure_room();
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            Some(std::mem::replace(&mut self.vals[i], val))
+        } else {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.occupied += 1;
+            None
+        }
+    }
+
+    /// Add `delta` to the count of `key` (insert at `delta` if absent).
+    /// Saturates at `u32::MAX` — the Jellyfish counter semantics.
+    #[inline]
+    pub fn add(&mut self, key: u64, delta: u32) {
+        if key == EMPTY {
+            let cur = self.max_key.unwrap_or(0);
+            self.max_key = Some(cur.saturating_add(delta));
+            return;
+        }
+        self.ensure_room();
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            self.vals[i] = self.vals[i].saturating_add(delta);
+        } else {
+            self.keys[i] = key;
+            self.vals[i] = delta;
+            self.occupied += 1;
+        }
+    }
+
+    /// Value of `key`, inserting `val` first if absent. Returns the value
+    /// now stored — the "first claim wins" primitive.
+    #[inline]
+    pub fn get_or_insert(&mut self, key: u64, val: u32) -> u32 {
+        if key == EMPTY {
+            return *self.max_key.get_or_insert(val);
+        }
+        self.ensure_room();
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            self.vals[i]
+        } else {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.occupied += 1;
+            val
+        }
+    }
+
+    /// Keep the minimum of the stored value and `val` (insert if absent) —
+    /// the cross-batch merge rule for first-claim component ids.
+    pub fn update_min(&mut self, key: u64, val: u32) {
+        if key == EMPTY {
+            let cur = self.max_key.unwrap_or(u32::MAX);
+            self.max_key = Some(cur.min(val));
+            return;
+        }
+        self.ensure_room();
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            if val < self.vals[i] {
+                self.vals[i] = val;
+            }
+        } else {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.occupied += 1;
+        }
+    }
+
+    /// Add every entry of `other` into this table (count semantics).
+    pub fn absorb(&mut self, other: &PackedKmerTable) {
+        self.reserve(other.len());
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Pre-size for `additional` more distinct keys.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = Self::capacity_for(self.occupied + additional);
+        if want > self.keys.len() {
+            if self.keys.is_empty() {
+                self.allocate(want);
+            } else {
+                self.grow(want);
+            }
+        }
+    }
+
+    /// Iterate `(packed key, value)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .chain(self.max_key.map(|v| (EMPTY, v)))
+    }
+
+    /// Keep only entries where `pred(key, value)` holds. Rebuilds the
+    /// backing array (no tombstones); off-hot-path by design.
+    pub fn retain(&mut self, mut pred: impl FnMut(u64, u32) -> bool) {
+        if let Some(v) = self.max_key {
+            if !pred(EMPTY, v) {
+                self.max_key = None;
+            }
+        }
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        let survivors: Vec<(u64, u32)> = old_keys
+            .into_iter()
+            .zip(old_vals)
+            .filter(|&(k, v)| k != EMPTY && pred(k, v))
+            .collect();
+        self.occupied = 0;
+        self.mask = 0;
+        if !survivors.is_empty() {
+            self.allocate(Self::capacity_for(survivors.len()));
+            for (k, v) in survivors {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.occupied += 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<(u64, u32)> for PackedKmerTable {
+    /// Collect with *insert* (last value wins), not count accumulation.
+    fn from_iter<I: IntoIterator<Item = (u64, u32)>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut t = Self::with_capacity(iter.size_hint().0);
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = PackedKmerTable::new();
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.insert(7, 1), None);
+        assert_eq!(t.insert(7, 2), Some(1));
+        assert_eq!(t.get(7), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn add_accumulates_and_saturates() {
+        let mut t = PackedKmerTable::new();
+        t.add(9, 3);
+        t.add(9, 4);
+        assert_eq!(t.get(9), Some(7));
+        t.add(9, u32::MAX);
+        assert_eq!(t.get(9), Some(u32::MAX));
+    }
+
+    #[test]
+    fn sentinel_key_is_a_real_key() {
+        // u64::MAX packs the all-T 32-mer; it must behave like any key.
+        let mut t = PackedKmerTable::new();
+        t.add(u64::MAX, 2);
+        t.add(u64::MAX, 1);
+        assert_eq!(t.get(u64::MAX), Some(3));
+        assert_eq!(t.len(), 1);
+        assert!(t.iter().any(|(k, v)| k == u64::MAX && v == 3));
+        t.retain(|_, v| v > 5);
+        assert_eq!(t.get(u64::MAX), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = PackedKmerTable::new();
+        for k in 0..10_000u64 {
+            t.add(k.wrapping_mul(0x2545_F491_4F6C_DD1D), 1);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k.wrapping_mul(0x2545_F491_4F6C_DD1D)), Some(1));
+        }
+    }
+
+    #[test]
+    fn get_or_insert_first_claim() {
+        let mut t = PackedKmerTable::new();
+        assert_eq!(t.get_or_insert(5, 10), 10);
+        assert_eq!(t.get_or_insert(5, 99), 10);
+        assert_eq!(t.get(5), Some(10));
+    }
+
+    #[test]
+    fn update_min_keeps_smallest() {
+        let mut t = PackedKmerTable::new();
+        t.update_min(4, 8);
+        t.update_min(4, 3);
+        t.update_min(4, 7);
+        assert_eq!(t.get(4), Some(3));
+    }
+
+    #[test]
+    fn retain_rebuilds() {
+        let mut t = PackedKmerTable::new();
+        for k in 0..100 {
+            t.insert(k, k as u32);
+        }
+        t.retain(|_, v| v % 2 == 0);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(4), Some(4));
+        // Still usable after rebuild.
+        t.add(3, 1);
+        assert_eq!(t.get(3), Some(1));
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = PackedKmerTable::new();
+        a.add(1, 1);
+        a.add(2, 2);
+        let mut b = PackedKmerTable::new();
+        b.add(2, 5);
+        b.add(3, 1);
+        a.absorb(&b);
+        assert_eq!(a.get(1), Some(1));
+        assert_eq!(a.get(2), Some(7));
+        assert_eq!(a.get(3), Some(1));
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut t = PackedKmerTable::with_capacity(4);
+        for k in 0..40 {
+            t.insert(k * 3, k as u32);
+        }
+        let mut got: Vec<_> = t.iter().collect();
+        got.sort_unstable();
+        let want: Vec<_> = (0..40).map(|k| (k * 3, k as u32)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn from_iter_last_wins() {
+        let t: PackedKmerTable = [(1u64, 1u32), (2, 2), (1, 9)].into_iter().collect();
+        assert_eq!(t.get(1), Some(9));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_queries() {
+        let t = PackedKmerTable::new();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(u64::MAX), None);
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: [`PackedKmerTable`] and [`ShardedKmerTable`] must match
+//! a `std::collections::HashMap` reference model on random packed-k-mer
+//! workloads — the correctness contract for swapping the table into every
+//! Chrysalis hot path.
+
+use std::collections::HashMap;
+
+use kmertable::{PackedKmerTable, PackedWeldSet, ShardedKmerTable};
+use proptest::prelude::*;
+
+/// Random packed k-mers biased toward collisions: a small key universe
+/// exercises the update paths, full-range keys exercise probing.
+fn keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![0u64..32, any::<u64>(), Just(u64::MAX), Just(0u64)],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_hashmap_counts(ks in keys()) {
+        let mut table = PackedKmerTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &k in &ks {
+            table.add(k, 1);
+            *model.entry(k).or_insert(0) += 1;
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        let mut dumped: Vec<_> = table.iter().collect();
+        dumped.sort_unstable();
+        let mut want: Vec<_> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(dumped, want);
+    }
+
+    #[test]
+    fn insert_matches_hashmap_replace(pairs in proptest::collection::vec(
+        (0u64..64, any::<u32>()), 0..200))
+    {
+        let mut table = PackedKmerTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &(k, v) in &pairs {
+            prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn get_or_insert_matches_entry_or_insert(pairs in proptest::collection::vec(
+        (0u64..48, any::<u32>()), 0..200))
+    {
+        let mut table = PackedKmerTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &(k, v) in &pairs {
+            let got = table.get_or_insert(k, v);
+            let want = *model.entry(k).or_insert(v);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn update_min_matches_model(pairs in proptest::collection::vec(
+        (0u64..48, any::<u32>()), 0..200))
+    {
+        let mut table = PackedKmerTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &(k, v) in &pairs {
+            table.update_min(k, v);
+            model
+                .entry(k)
+                .and_modify(|cur| *cur = (*cur).min(v))
+                .or_insert(v);
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn retain_matches_hashmap_retain(ks in keys(), cutoff in 1u32..5) {
+        let mut table = PackedKmerTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &k in &ks {
+            table.add(k, 1);
+            *model.entry(k).or_insert(0) += 1;
+        }
+        table.retain(|_, v| v >= cutoff);
+        model.retain(|_, v| *v >= cutoff);
+        prop_assert_eq!(table.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        // The rebuilt table still accepts inserts correctly.
+        for &k in ks.iter().take(10) {
+            table.add(k, 1);
+            *model.entry(k).or_insert(0) += 1;
+            prop_assert_eq!(table.get(k), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn sharded_concurrent_matches_hashmap(
+        ks in keys(),
+        threads in 2usize..5,
+        shards in 1usize..9)
+    {
+        // cfg.threads > 1: several real threads hammer the same sharded
+        // table; the merged result must equal a serial HashMap count that
+        // saw every thread's stream.
+        let sharded = ShardedKmerTable::new(shards);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let sharded = &sharded;
+                let ks = &ks;
+                scope.spawn(move || {
+                    // Half direct adds, half staged-and-absorbed, the two
+                    // write paths the counting pass uses.
+                    let (direct, staged) = ks.split_at(ks.len() / 2);
+                    for &k in direct {
+                        sharded.add(k, 1);
+                    }
+                    let mut local = PackedKmerTable::new();
+                    for &k in staged {
+                        local.add(k, 1);
+                    }
+                    sharded.absorb(&local);
+                });
+            }
+        });
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for &k in &ks {
+            *model.entry(k).or_insert(0) += threads as u32;
+        }
+        let merged = sharded.into_merged();
+        prop_assert_eq!(merged.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(merged.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn weld_set_matches_hashset(ks in proptest::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(|x| x as u128),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(hi, lo)| ((hi as u128) << 64 | lo as u128) & ((1u128 << 126) - 1)),
+        ],
+        0..300))
+    {
+        let mut set = PackedWeldSet::new();
+        let mut model = std::collections::HashSet::new();
+        for &k in &ks {
+            prop_assert_eq!(set.insert(k), model.insert(k));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        for &k in &ks {
+            prop_assert!(set.contains(k));
+        }
+    }
+}

@@ -50,8 +50,7 @@ where
         mail: senders,
     });
 
-    let outputs: Vec<Mutex<Option<RankOutput<T>>>> =
-        (0..ranks).map(|_| Mutex::new(None)).collect();
+    let outputs: Vec<Mutex<Option<RankOutput<T>>>> = (0..ranks).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
@@ -161,7 +160,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = run_cluster(4, NetModel::ideal(), |comm| {
-            let data = if comm.rank() == 2 { b"seed".to_vec() } else { vec![] };
+            let data = if comm.rank() == 2 {
+                b"seed".to_vec()
+            } else {
+                vec![]
+            };
             comm.bcast(2, &data)
         });
         for o in &out {
@@ -222,7 +225,10 @@ mod tests {
             comm.clock.now()
         });
         for o in &out {
-            assert!((o.value - 3.0).abs() < 1e-12, "all ranks leave at max entry time");
+            assert!(
+                (o.value - 3.0).abs() < 1e-12,
+                "all ranks leave at max entry time"
+            );
         }
     }
 

@@ -48,7 +48,12 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, shared: Arc<Shared>, inbox: Receiver<Message>, net: NetModel) -> Self {
+    pub(crate) fn new(
+        rank: usize,
+        shared: Arc<Shared>,
+        inbox: Receiver<Message>,
+        net: NetModel,
+    ) -> Self {
         Comm {
             rank,
             shared,

@@ -51,6 +51,9 @@ mod tests {
     #[test]
     fn default_is_zero() {
         let s = CommStats::default();
-        assert_eq!(s.bytes_sent + s.bytes_received + s.p2p_sends + s.p2p_recvs + s.collectives, 0);
+        assert_eq!(
+            s.bytes_sent + s.bytes_received + s.p2p_sends + s.p2p_recvs + s.collectives,
+            0
+        );
     }
 }

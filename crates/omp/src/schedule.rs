@@ -229,7 +229,10 @@ mod tests {
     fn chunked_rr_short_tail() {
         // 11 items, chunk 4 -> chunks [0,4),[4,8),[8,11); rank owners 0,1,2... mod 2
         let per_rank = chunked_round_robin(11, 2, 4);
-        assert_eq!(per_rank[0], vec![Chunk { start: 0, end: 4 }, Chunk { start: 8, end: 11 }]);
+        assert_eq!(
+            per_rank[0],
+            vec![Chunk { start: 0, end: 4 }, Chunk { start: 8, end: 11 }]
+        );
         assert_eq!(per_rank[1], vec![Chunk { start: 4, end: 8 }]);
     }
 

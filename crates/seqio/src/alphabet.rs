@@ -147,7 +147,10 @@ mod tests {
         assert!(is_strict_dna(b"ACGTacgt"));
         assert!(!is_strict_dna(b"ACGN"));
         assert!(validate_dna(b"ACGTN").is_ok());
-        assert!(matches!(validate_dna(b"ACGT-"), Err(Error::InvalidBase(b'-'))));
+        assert!(matches!(
+            validate_dna(b"ACGT-"),
+            Err(Error::InvalidBase(b'-'))
+        ));
     }
 
     #[test]

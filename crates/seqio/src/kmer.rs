@@ -73,7 +73,9 @@ impl Kmer {
 
     /// Decode into ASCII bases.
     pub fn bases(self) -> Vec<u8> {
-        (0..self.k()).map(|i| code_to_base(self.code_at(i))).collect()
+        (0..self.k())
+            .map(|i| code_to_base(self.code_at(i)))
+            .collect()
     }
 
     /// Reverse complement of this k-mer.
@@ -179,7 +181,11 @@ impl<'a> KmerIter<'a> {
         if k == 0 || k > Kmer::MAX_K {
             return Err(Error::InvalidK(k));
         }
-        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
         Ok(KmerIter {
             seq,
             k,

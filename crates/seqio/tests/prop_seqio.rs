@@ -9,7 +9,10 @@ use seqio::splitter::plan_split;
 use seqio::fasta::Record as FaRecord;
 
 fn dna_strict() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..200)
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        0..200,
+    )
 }
 
 fn dna_with_n() -> impl Strategy<Value = Vec<u8>> {

@@ -89,7 +89,7 @@ fn apply_errors(seq: &mut [u8], rate: f64, rng: &mut StdRng) {
         if rng.random::<f64>() < rate {
             let cur = *b;
             loop {
-                let nb = BASES[rng.random_range(0..4)];
+                let nb = BASES[rng.random_range(0..4usize)];
                 if nb != cur {
                     *b = nb;
                     break;
@@ -129,10 +129,7 @@ pub fn simulate_reads(
                 let start = rng.random_range(0..=seq.len() - cfg.read_len);
                 let mut r = seq[start..start + cfg.read_len].to_vec();
                 apply_errors(&mut r, cfg.error_rate, &mut rng);
-                left.push(Record::new(
-                    format!("{}:{}/s", reference[t].isoform, p),
-                    r,
-                ));
+                left.push(Record::new(format!("{}:{}/s", reference[t].isoform, p), r));
                 continue;
             }
             let start = rng.random_range(0..=seq.len() - insert);
@@ -140,14 +137,8 @@ pub fn simulate_reads(
             let mut r = revcomp(&seq[start + insert - cfg.read_len..start + insert]);
             apply_errors(&mut l, cfg.error_rate, &mut rng);
             apply_errors(&mut r, cfg.error_rate, &mut rng);
-            left.push(Record::new(
-                format!("{}:{}/1", reference[t].isoform, p),
-                l,
-            ));
-            right.push(Record::new(
-                format!("{}:{}/2", reference[t].isoform, p),
-                r,
-            ));
+            left.push(Record::new(format!("{}:{}/1", reference[t].isoform, p), l));
+            right.push(Record::new(format!("{}:{}/2", reference[t].isoform, p), r));
         }
     }
     SimulatedReads { left, right }
@@ -206,10 +197,7 @@ mod tests {
         for r in &reads.left {
             let iso = r.id.split(':').next().unwrap();
             let src = reference.iter().find(|t| t.isoform == iso).unwrap();
-            let found = src
-                .seq
-                .windows(r.seq.len())
-                .any(|w| w == r.seq.as_slice());
+            let found = src.seq.windows(r.seq.len()).any(|w| w == r.seq.as_slice());
             assert!(found, "left read {} not a substring", r.id);
         }
         for r in &reads.right {

@@ -191,7 +191,9 @@ impl Transcriptome {
 
 /// Uniform random DNA of length `len`.
 pub fn random_dna(rng: &mut StdRng, len: usize) -> Vec<u8> {
-    (0..len).map(|_| BASES[rng.random_range(0..4)]).collect()
+    (0..len)
+        .map(|_| BASES[rng.random_range(0..4usize)])
+        .collect()
 }
 
 /// Copy `seq` with substitutions at `rate` per base.
@@ -200,7 +202,7 @@ pub fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
         .map(|&b| {
             if rng.random::<f64>() < rate {
                 loop {
-                    let nb = BASES[rng.random_range(0..4)];
+                    let nb = BASES[rng.random_range(0..4usize)];
                     if nb != b {
                         break nb;
                     }
@@ -341,8 +343,7 @@ mod paralog_tests {
                 if a.len() < 40 || b.len() < 40 {
                     continue;
                 }
-                let windows: std::collections::HashSet<&[u8]> =
-                    a.windows(40).step_by(7).collect();
+                let windows: std::collections::HashSet<&[u8]> = a.windows(40).step_by(7).collect();
                 if b.windows(40).any(|w| windows.contains(w)) {
                     found = true;
                     break 'outer;
@@ -373,6 +374,9 @@ mod paralog_tests {
         assert_eq!(zero, seq);
         let heavy = mutate(&mut rng, &seq, 0.5);
         let diff = seq.iter().zip(&heavy).filter(|(a, b)| a != b).count();
-        assert!((3000..7000).contains(&diff), "≈50% substitutions, got {diff}");
+        assert!(
+            (3000..7000).contains(&diff),
+            "≈50% substitutions, got {diff}"
+        );
     }
 }

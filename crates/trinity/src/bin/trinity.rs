@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mpisim::NetModel;
-use seqio::fasta::{FastaReader, FastaWriter, Record};
+use seqio::fasta::{FastaWriter, Record};
 use seqio::fastq::FastqReader;
 use seqio::stats::length_stats;
 use simulate::datasets::{Dataset, DatasetPreset};
@@ -160,20 +160,27 @@ fn run() -> Result<(), String> {
     write_fasta(&args.out.join("inchworm.fasta"), &out.contigs)?;
     write_fasta(&args.out.join("transcripts.fasta"), &out.transcripts)?;
 
-    let mut f = std::fs::File::create(args.out.join("components.txt"))
-        .map_err(|e| e.to_string())?;
+    let mut f =
+        std::fs::File::create(args.out.join("components.txt")).map_err(|e| e.to_string())?;
     for (c, members) in out.components.iter().enumerate() {
-        let names: Vec<&str> = members.iter().map(|&m| out.contigs[m].id.as_str()).collect();
+        let names: Vec<&str> = members
+            .iter()
+            .map(|&m| out.contigs[m].id.as_str())
+            .collect();
         writeln!(f, "comp{c}\t{}", names.join(",")).map_err(|e| e.to_string())?;
     }
-    let mut f = std::fs::File::create(args.out.join("read_assignments.txt"))
-        .map_err(|e| e.to_string())?;
+    let mut f =
+        std::fs::File::create(args.out.join("read_assignments.txt")).map_err(|e| e.to_string())?;
     for &(r, c) in &out.assignments {
         writeln!(f, "{}\tcomp{c}", reads[r as usize].id).map_err(|e| e.to_string())?;
     }
     std::fs::write(
         args.out.join("collectl.txt"),
-        format!("{}\n{}", render_trace(&out.trace), render_bars(&out.trace, 50)),
+        format!(
+            "{}\n{}",
+            render_trace(&out.trace),
+            render_bars(&out.trace, 50)
+        ),
     )
     .map_err(|e| e.to_string())?;
 

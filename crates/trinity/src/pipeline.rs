@@ -158,7 +158,11 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     counts.retain_min(cfg.min_kmer_count.max(1));
     let merge_time = t0.elapsed().as_secs_f64();
     let distinct = counts.len();
-    trace.push("Jellyfish", count_time + merge_time, ram::jellyfish(distinct));
+    trace.push(
+        "Jellyfish",
+        count_time + merge_time,
+        ram::jellyfish(distinct),
+    );
 
     // ---- Inchworm ----
     let t0 = std::time::Instant::now();
@@ -179,8 +183,12 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     };
     let contigs_arc = Arc::new(contigs);
     let reads_arc = Arc::new(reads.to_vec());
-    let (c_arc, r_arc, ch_cfg, al_cfg) =
-        (Arc::clone(&contigs_arc), Arc::clone(&reads_arc), cfg.chrysalis, cfg.align);
+    let (c_arc, r_arc, ch_cfg, al_cfg) = (
+        Arc::clone(&contigs_arc),
+        Arc::clone(&reads_arc),
+        cfg.chrysalis,
+        cfg.align,
+    );
     let bowtie_outs = run_cluster(ranks, net, move |comm| {
         bowtie_mpi(comm, &c_arc, &r_arc, &ch_cfg, al_cfg)
     });
@@ -191,8 +199,7 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         max_time(&bowtie_outs),
         ram::bowtie(contig_bytes.div_ceil(ranks), read_buffer),
     );
-    let bowtie_timings: Vec<BowtieTimings> =
-        bowtie_outs.iter().map(|o| o.value.timings).collect();
+    let bowtie_timings: Vec<BowtieTimings> = bowtie_outs.iter().map(|o| o.value.timings).collect();
     let sam = bowtie_out.sam.clone();
 
     // ---- Chrysalis: GraphFromFasta ----
@@ -201,19 +208,22 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         counts,
         cfg.chrysalis,
     ));
-    let (gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) =
-        if ranks == 1 {
-            let out = gff_shared_memory(&gff_shared);
-            let t = out.timings;
-            let total = t.total;
-            (out, vec![t], total)
-        } else {
-            let sh = Arc::clone(&gff_shared);
-            let outs = run_cluster(ranks, net, move |comm| gff_hybrid(comm, &sh));
-            let timings: Vec<GffTimings> = outs.iter().map(|o| o.value.timings).collect();
-            let time = max_time(&outs);
-            (outs.into_iter().next().expect("rank 0").value, timings, time)
-        };
+    let (gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) = if ranks == 1 {
+        let out = gff_shared_memory(&gff_shared);
+        let t = out.timings;
+        let total = t.total;
+        (out, vec![t], total)
+    } else {
+        let sh = Arc::clone(&gff_shared);
+        let outs = run_cluster(ranks, net, move |comm| gff_hybrid(comm, &sh));
+        let timings: Vec<GffTimings> = outs.iter().map(|o| o.value.timings).collect();
+        let time = max_time(&outs);
+        (
+            outs.into_iter().next().expect("rank 0").value,
+            timings,
+            time,
+        )
+    };
     let weld_bytes: usize = gff_out.welds.iter().map(Vec::len).sum();
     trace.push(
         "GraphFromFasta",
@@ -254,7 +264,11 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         let outs = run_cluster(ranks, net, move |comm| rtt_hybrid(comm, &sh));
         let timings: Vec<RttTimings> = outs.iter().map(|o| o.value.timings).collect();
         let time = max_time(&outs);
-        (outs.into_iter().next().expect("rank 0").value, timings, time)
+        (
+            outs.into_iter().next().expect("rank 0").value,
+            timings,
+            time,
+        )
     };
     let chunk_bytes: usize = reads
         .iter()
@@ -288,8 +302,8 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     let (transcript_lists, costs) = parallel_map_timed(&comp_inputs, |input| {
         reconstruct_component(input, cfg.reconstruction)
     });
-    let butterfly_time = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule)
-        .makespan;
+    let butterfly_time =
+        simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule).makespan;
     let transcripts: Vec<Record> = transcript_lists.into_iter().flatten().collect();
     let max_nodes = comp_inputs
         .iter()
@@ -344,8 +358,16 @@ mod tests {
         assert_eq!(hybrid.components, serial.components);
         assert_eq!(hybrid.assignments, serial.assignments);
         // Transcript sets identical for identical component inputs.
-        let mut a: Vec<&[u8]> = serial.transcripts.iter().map(|r| r.seq.as_slice()).collect();
-        let mut b: Vec<&[u8]> = hybrid.transcripts.iter().map(|r| r.seq.as_slice()).collect();
+        let mut a: Vec<&[u8]> = serial
+            .transcripts
+            .iter()
+            .map(|r| r.seq.as_slice())
+            .collect();
+        let mut b: Vec<&[u8]> = hybrid
+            .transcripts
+            .iter()
+            .map(|r| r.seq.as_slice())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -359,9 +381,9 @@ mod tests {
         let ds = Dataset::generate(DatasetPreset::Tiny, 11);
         let out = run_pipeline(&ds.all_reads(), &PipelineConfig::small(12));
         let hit = ds.reference.iter().any(|refseq| {
-            out.transcripts.iter().any(|t| {
-                t.seq == refseq.seq || t.seq == seqio::alphabet::revcomp(&refseq.seq)
-            })
+            out.transcripts
+                .iter()
+                .any(|t| t.seq == refseq.seq || t.seq == seqio::alphabet::revcomp(&refseq.seq))
         });
         assert!(hit, "no reference transcript reconstructed exactly");
     }
@@ -376,8 +398,13 @@ mod tests {
             .stages
             .iter()
             .filter(|s| {
-                ["Bowtie", "GraphFromFasta", "QuantifyGraph", "ReadsToTranscripts"]
-                    .contains(&s.name.as_str())
+                [
+                    "Bowtie",
+                    "GraphFromFasta",
+                    "QuantifyGraph",
+                    "ReadsToTranscripts",
+                ]
+                .contains(&s.name.as_str())
             })
             .map(|s| s.duration())
             .sum();

@@ -16,9 +16,18 @@ use seqio::fasta::Record;
 
 fn main() {
     let contigs = vec![
-        Record::new("contig_0", b"CGAGTCGGTTATCTTCGGATACTGTATAGTCCCACCTGGT".to_vec()),
-        Record::new("contig_1", b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCGCTTGGGTC".to_vec()),
-        Record::new("contig_2", b"CCATACCAAGAGGTAGTAGTCTCAGAATCTTGCGGGTACA".to_vec()),
+        Record::new(
+            "contig_0",
+            b"CGAGTCGGTTATCTTCGGATACTGTATAGTCCCACCTGGT".to_vec(),
+        ),
+        Record::new(
+            "contig_1",
+            b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCGCTTGGGTC".to_vec(),
+        ),
+        Record::new(
+            "contig_2",
+            b"CCATACCAAGAGGTAGTAGTCTCAGAATCTTGCGGGTACA".to_vec(),
+        ),
     ];
     let index = FmIndex::build(&contigs);
     println!(

@@ -32,7 +32,11 @@ fn main() {
         .iter()
         .map(|c| c.to_record())
         .collect();
-    println!("workload: {} reads -> {} contigs\n", reads.len(), contigs.len());
+    println!(
+        "workload: {} reads -> {} contigs\n",
+        reads.len(),
+        contigs.len()
+    );
 
     let shared = Arc::new(GffShared::prepare(contigs, counts, cfg.chrysalis));
     let baseline = gff_shared_memory(&shared).timings;

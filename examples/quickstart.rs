@@ -36,10 +36,7 @@ fn main() {
         "\ninchworm contigs : {} (N50 {} bp, max {} bp)",
         contig_stats.count, contig_stats.n50, contig_stats.max
     );
-    println!(
-        "components       : {}",
-        out.components.len()
-    );
+    println!("components       : {}", out.components.len());
     println!(
         "transcripts      : {} (N50 {} bp, max {} bp)",
         tx_stats.count, tx_stats.n50, tx_stats.max
@@ -51,9 +48,9 @@ fn main() {
         .reference
         .iter()
         .filter(|r| {
-            out.transcripts.iter().any(|t| {
-                t.seq == r.seq || t.seq == seqio::alphabet::revcomp(&r.seq)
-            })
+            out.transcripts
+                .iter()
+                .any(|t| t.seq == r.seq || t.seq == seqio::alphabet::revcomp(&r.seq))
         })
         .count();
     println!(

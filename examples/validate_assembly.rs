@@ -19,7 +19,11 @@ use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode};
 fn main() {
     let dataset = Dataset::generate(DatasetPreset::Tiny, 3);
     let reads = dataset.all_reads();
-    println!("dataset: {} reads, {} reference isoforms", reads.len(), dataset.reference.len());
+    println!(
+        "dataset: {} reads, {} reference isoforms",
+        reads.len(),
+        dataset.reference.len()
+    );
 
     let mut serial_cfg = PipelineConfig::small(12);
     serial_cfg.mode = PipelineMode::Serial;

@@ -15,7 +15,12 @@ use mpisim::{run_cluster, NetModel};
 use seqio::fasta::Record;
 use simulate::datasets::{Dataset, DatasetPreset};
 
-fn workload() -> (Vec<Record>, Vec<Record>, kcount::counter::KmerCounts, ChrysalisConfig) {
+fn workload() -> (
+    Vec<Record>,
+    Vec<Record>,
+    kcount::counter::KmerCounts,
+    ChrysalisConfig,
+) {
     let ds = Dataset::generate(DatasetPreset::Tiny, 5);
     let reads = ds.all_reads();
     let cfg = ChrysalisConfig::small(12);
@@ -46,7 +51,11 @@ fn full_chrysalis_chain_under_one_cluster() {
     let contigs = Arc::new(contigs);
     let reads = Arc::new(reads);
 
-    let (c, r, g) = (Arc::clone(&contigs), Arc::clone(&reads), Arc::clone(&gff_shared));
+    let (c, r, g) = (
+        Arc::clone(&contigs),
+        Arc::clone(&reads),
+        Arc::clone(&gff_shared),
+    );
     let outs = run_cluster(4, NetModel::idataplex(), move |comm| {
         let bowtie = bowtie_mpi(comm, &c, &r, &cfg, AlignConfig::default());
         let gff = gff_hybrid(comm, &g);
@@ -88,10 +97,7 @@ fn scaffold_pairs_integrate_with_clustering() {
     // Clustering with the scaffold pairs never panics and keeps counts.
     let (comp_of, comps) = chrysalis::graph_from_fasta::cluster(contigs.len(), &pairs);
     assert_eq!(comp_of.len(), contigs.len());
-    assert_eq!(
-        comps.iter().map(Vec::len).sum::<usize>(),
-        contigs.len()
-    );
+    assert_eq!(comps.iter().map(Vec::len).sum::<usize>(), contigs.len());
 }
 
 #[test]
@@ -101,7 +107,9 @@ fn rank_counts_beyond_work_degrade_gracefully() {
     let n_contigs = contigs.len();
     let gff_shared = Arc::new(GffShared::prepare(contigs, counts, cfg));
     let g1 = Arc::clone(&gff_shared);
-    let one = run_cluster(1, NetModel::ideal(), move |comm| gff_hybrid(comm, &g1).pairs);
+    let one = run_cluster(1, NetModel::ideal(), move |comm| {
+        gff_hybrid(comm, &g1).pairs
+    });
     let gmany = Arc::clone(&gff_shared);
     let many = run_cluster(n_contigs + 5, NetModel::ideal(), move |comm| {
         gff_hybrid(comm, &gmany).pairs

@@ -69,9 +69,8 @@ fn network_model_changes_time_not_output() {
     );
     assert_eq!(sorted_seqs(&fast), sorted_seqs(&slow));
     // Gigabit's per-byte cost must show up somewhere in GFF comms.
-    let comm = |o: &PipelineOutput| -> f64 {
-        o.gff_timings.iter().map(|t| t.comm1 + t.comm2).sum()
-    };
+    let comm =
+        |o: &PipelineOutput| -> f64 { o.gff_timings.iter().map(|t| t.comm1 + t.comm2).sum() };
     assert!(comm(&slow) >= comm(&fast));
 }
 

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The benchmark container has no crates.io access, so the workspace vendors
+//! the *exact* API surface it consumes: [`Buf`] for `&[u8]` cursors and
+//! [`BufMut`] for `Vec<u8>` builders, little-endian integer accessors only.
+
+/// Read-side cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skip `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy out the next `dst.len()` bytes. Panics on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write-side builder for a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(7);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_slice(b"xy");
+        let mut cur = buf.as_slice();
+        assert_eq!(cur.remaining(), 14);
+        assert_eq!(cur.get_u32_le(), 7);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 1);
+        let mut two = [0u8; 2];
+        cur.copy_to_slice(&mut two);
+        assert_eq!(&two, b"xy");
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur = &data[..];
+        cur.advance(3);
+        assert_eq!(cur, &[4]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses: [`scope`] (scoped threads
+//! whose closure receives the scope handle, panics surfaced as `Err`) and
+//! [`channel`] (unbounded MPMC-ish channels; the workspace only ever fans
+//! *in*, so std's `mpsc` suffices underneath).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle passed to [`scope`] closures and spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope so it
+    /// can spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before this
+/// returns. A panicking child (or closure) yields `Err(payload)` instead of
+/// propagating, matching crossbeam's result contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Unbounded channels with crossbeam's module layout.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; clonable for many-producer use.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when all receivers are gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when all senders are gone and the queue is drained.
+    pub type RecvError = mpsc::RecvError;
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails once all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_surfaces_child_panic_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err());
+    }
+}

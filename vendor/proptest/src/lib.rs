@@ -1,0 +1,514 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The benchmark container cannot reach crates.io, so this crate vendors the
+//! slice of proptest the workspace's property tests actually use: the
+//! [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], [`Just`],
+//! [`any`], range and tuple strategies, `prop_map` / `prop_filter`, and
+//! `collection::vec`. Generation is purely random (no shrinking); failures
+//! report the seed-derived case index so a failing case can be replayed by
+//! running the test again (generation is deterministic per test name).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub use strategy::{any, Any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+
+    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over `element`, sized by `size` (a `usize` or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Like `assert!` but inside a property: reports the failing predicate.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Like `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Like `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to a `continue` targeting the per-test cases loop, so it is only
+/// valid directly inside a `proptest!` body (which is where real proptest
+/// allows it too). Unlike real proptest the skipped case is not re-drawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($strat)),+
+        ])
+    };
+}
+
+/// The property-test entry point. Accepts an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                // One strategy instance across cases (they are stateless).
+                let strats = ($(&$strat,)+);
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    let ($($pat,)+) = $crate::strategy::generate_tuple(&strats, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Strategy core: trait, combinators, primitive strategies.
+pub mod strategy {
+    use super::{RngExt, StdRng};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking: `generate`
+    /// draws one value. Filters retry a bounded number of times.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.reason);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Full-domain strategy for `T`, built by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy for all values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// String patterns: a `&str` is a tiny regex-style generator supporting
+    /// literal characters, `[...]` classes (with `a-z` ranges and `\`
+    /// escapes), and `{n}` / `{lo,hi}` repetition — the subset the
+    /// workspace's tests use (e.g. `"[a-zA-Z0-9_.-]{1,12}"`).
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let alphabet: Vec<char> = if chars[i] == '[' {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars[i] == '\\' {
+                            set.push(chars[i + 1]);
+                            i += 2;
+                        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']'
+                        {
+                            set.extend(chars[i]..=chars[i + 2]);
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    set
+                } else {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                };
+                assert!(!alphabet.is_empty(), "empty character class in {self:?}");
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = i + chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unclosed repetition");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad repetition"),
+                            b.trim().parse().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                for _ in 0..rng.random_range(lo..=hi) {
+                    out.push(alphabet[rng.random_range(0..alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// One boxed generator arm of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+    /// Uniform choice among same-valued strategies (see [`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from boxed generator arms.
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Erase one strategy into a generator arm.
+        pub fn arm<S>(strat: S) -> Box<dyn Fn(&mut StdRng) -> T>
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            Box::new(move |rng| strat.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
+
+    /// Generate a tuple of values from a tuple of strategy references
+    /// (used by the [`crate::proptest!`] expansion).
+    pub fn generate_tuple<S: Strategy>(strats: &S, rng: &mut StdRng) -> S::Value {
+        strats.generate(rng)
+    }
+}
+
+/// Test-run configuration and deterministic per-case RNG derivation.
+pub mod test_runner {
+    use super::{SeedableRng, StdRng};
+
+    /// Run configuration; only `cases` is consulted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG for `(test name, case index)`: reruns reproduce
+    /// the same sequence, keeping CI failures replayable.
+    pub fn case_rng(name: &str, case: u32) -> StdRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn byte_pairs() -> impl Strategy<Value = Vec<(u8, u8)>> {
+        crate::collection::vec((any::<u8>(), 1u8..5), 0..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..10, y in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_map(b in prop_oneof![Just(1u32), (5u32..8).prop_map(|x| x * 10)]) {
+            prop_assert!(b == 1 || (50..80).contains(&b));
+        }
+
+        #[test]
+        fn filter_applies(v in crate::collection::vec(0u32..100, 0..20)
+                              .prop_filter("nonempty", |v| !v.is_empty())) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_compose(pairs in byte_pairs()) {
+            for &(_, n) in &pairs {
+                prop_assert!((1..5).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let mut a = crate::test_runner::case_rng("t", 3);
+        let mut b = crate::test_runner::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::case_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements exactly what the `simulate` crate and property tests consume:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt` extension
+//! with `random::<T>()` / `random_range(range)`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic across platforms,
+//! which is all the dataset presets require (they fix seeds).
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain via [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Ranges samplable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the (non-empty) range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// Extension methods mirroring rand's `Rng`.
+pub trait RngExt {
+    /// A uniform sample over the full domain of `T`.
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5u64..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
