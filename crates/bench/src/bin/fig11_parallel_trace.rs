@@ -1,5 +1,9 @@
 //! Regenerates Fig. 11: collectl trace of the parallel Trinity run
 //! (16 nodes x 16 threads), alongside the Fig. 2 baseline for comparison.
+//!
+//! Besides the text figure on stdout, writes both runs' span timelines as
+//! Chrome `trace_event` files (`fig11_trace.json`, `fig11_baseline_trace.json`)
+//! for `chrome://tracing` / Perfetto.
 
 fn main() {
     let cli = bench::Cli::parse(std::env::args().skip(1));
@@ -9,4 +13,6 @@ fn main() {
         "{}",
         bench::fig11_parallel_trace::render(&parallel, &baseline)
     );
+    bench::write_chrome_trace(&cli, "fig11_baseline_trace.json", &baseline);
+    bench::write_chrome_trace(&cli, "fig11_trace.json", &parallel);
 }

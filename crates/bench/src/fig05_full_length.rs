@@ -1,5 +1,5 @@
 //! Fig. 5 — full-length reconstructed genes/isoforms against the
-//! reference sets ("Schizophrenia" [sic] and Drosophila), for both
+//! reference sets ("Schizophrenia" \[sic\] and Drosophila), for both
 //! versions of Trinity.
 //!
 //! The claim: the hybrid version reconstructs as many reference

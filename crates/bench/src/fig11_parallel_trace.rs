@@ -6,15 +6,16 @@
 //! parallelized).
 
 use mpisim::NetModel;
+use obs::Trace;
 use simulate::datasets::DatasetPreset;
-use trinity::collectl::CollectlTrace;
 use trinity::pipeline::{run_pipeline, PipelineMode};
 use trinity::report::{render_bars, render_trace};
 
+use crate::fig02_baseline::chrysalis_time;
 use crate::workloads::{bench_pipeline_config, scaled};
 
 /// Run the hybrid pipeline at `ranks` nodes and return its trace.
-pub fn run(seed: u64, scale: f64, ranks: usize) -> CollectlTrace {
+pub fn run(seed: u64, scale: f64, ranks: usize) -> Trace {
     let w = scaled(DatasetPreset::SugarbeetLike, seed, scale);
     let mut cfg = bench_pipeline_config();
     cfg.mode = PipelineMode::Hybrid {
@@ -25,28 +26,13 @@ pub fn run(seed: u64, scale: f64, ranks: usize) -> CollectlTrace {
 }
 
 /// Render the trace plus the Fig. 2 comparison.
-pub fn render(parallel: &CollectlTrace, baseline: &CollectlTrace) -> String {
+pub fn render(parallel: &Trace, baseline: &Trace) -> String {
     let mut out =
         String::from("Fig. 11 — parallel Trinity, 16 nodes x 16 threads (sugarbeet-like)\n\n");
     out.push_str(&render_trace(parallel));
     out.push('\n');
     out.push_str(&render_bars(parallel, 50));
-    let chrysalis = |t: &CollectlTrace| -> f64 {
-        t.stages
-            .iter()
-            .filter(|s| {
-                [
-                    "Bowtie",
-                    "GraphFromFasta",
-                    "QuantifyGraph",
-                    "ReadsToTranscripts",
-                ]
-                .contains(&s.name.as_str())
-            })
-            .map(|s| s.duration())
-            .sum()
-    };
-    let (cb, cp) = (chrysalis(baseline), chrysalis(parallel));
+    let (cb, cp) = (chrysalis_time(baseline), chrysalis_time(parallel));
     out.push_str(&format!(
         "\nChrysalis time: baseline {:.3}s -> parallel {:.3}s ({:.1}x; paper: >50h -> <5h, >10x)\n",
         cb,
@@ -65,22 +51,7 @@ mod tests {
     fn parallel_chrysalis_is_much_faster() {
         let baseline = fig02_baseline::run(1, 0.08);
         let parallel = run(1, 0.08, 16);
-        let chrysalis = |t: &CollectlTrace| -> f64 {
-            t.stages
-                .iter()
-                .filter(|s| {
-                    [
-                        "Bowtie",
-                        "GraphFromFasta",
-                        "QuantifyGraph",
-                        "ReadsToTranscripts",
-                    ]
-                    .contains(&s.name.as_str())
-                })
-                .map(|s| s.duration())
-                .sum()
-        };
-        let (cb, cp) = (chrysalis(&baseline), chrysalis(&parallel));
+        let (cb, cp) = (chrysalis_time(&baseline), chrysalis_time(&parallel));
         // At simulation scale the non-parallel floor is proportionally
         // larger than the paper's, so the gain is smaller than >10x — but
         // the hybrid Chrysalis must still be clearly faster.
@@ -89,5 +60,13 @@ mod tests {
             "hybrid Chrysalis ({cp:.3}s) must beat the baseline ({cb:.3}s)"
         );
         assert!(render(&parallel, &baseline).contains("Chrysalis time"));
+        // Hybrid runs splice per-rank sub-traces: rank 0's Chrysalis
+        // timeline should appear above RANK_TRACK_BASE.
+        assert!(
+            parallel
+                .span_bounds(trinity::pipeline::RANK_TRACK_BASE, "gff.total")
+                .is_some(),
+            "per-rank gff.total span spliced into the pipeline trace"
+        );
     }
 }

@@ -26,12 +26,15 @@ pub mod workloads;
 
 /// Parse a `--scale X` / `--seed N` style argument list (every figure
 /// binary shares this tiny CLI).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Workload scale multiplier (1.0 = the preset as configured).
     pub scale: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Where `--trace-out` asks trace artifacts to go (a directory);
+    /// `None` means the default `target/figs`.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Cli {
@@ -39,7 +42,27 @@ impl Default for Cli {
         Cli {
             scale: 1.0,
             seed: 42,
+            trace_out: None,
         }
+    }
+}
+
+/// Write a trace as a Chrome `trace_event` artifact next to the figure's
+/// text output: `<dir>/<name>` (dir from `--trace-out`, default
+/// `target/figs`). Open in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn write_chrome_trace(cli: &Cli, name: &str, trace: &obs::Trace) {
+    let dir = cli
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("target/figs"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, obs::export::chrome_trace(trace)) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -58,6 +81,11 @@ impl Cli {
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                         cli.seed = v;
+                    }
+                }
+                "--trace-out" => {
+                    if let Some(v) = it.next() {
+                        cli.trace_out = Some(std::path::PathBuf::from(v));
                     }
                 }
                 _ => {}

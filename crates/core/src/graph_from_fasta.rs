@@ -103,8 +103,14 @@ pub struct GffOutput {
     pub component_of: Vec<usize>,
     /// Contig indices per component.
     pub components: Vec<Vec<usize>>,
-    /// This rank's phase timings.
+    /// This rank's phase timings (derived from the span trace).
     pub timings: GffTimings,
+    /// Span trace of the stage. Populated by the shared-memory driver
+    /// (virtual timeline from t = 0 on track 0, with per-thread busy/idle
+    /// lanes at [`obs::THREAD_TRACK_BASE`]` + t`). Hybrid ranks leave it
+    /// empty: their spans are recorded on [`Comm::obs`] and travel out via
+    /// `mpisim::RankOutput::trace` instead.
+    pub trace: obs::Trace,
 }
 
 /// Cluster contigs from welded pairs with union-find.
@@ -135,49 +141,72 @@ fn dedup_preserving_order(welds: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
 
 /// Shared-memory (OpenMP-only) GraphFromFasta: the paper's baseline,
 /// "run with 16 threads on one node".
+///
+/// Records the stage's virtual timeline (prep → loop1 → weld_index →
+/// loop2 → cluster under a `"gff.total"` stage span) on track 0 of the
+/// returned trace, with per-thread busy/idle lanes for both OpenMP loops.
 pub fn gff_shared_memory(shared: &GffShared) -> GffOutput {
     let cfg = &shared.cfg;
     let n = shared.contigs.len();
     let items: Vec<u32> = (0..n as u32).collect();
     let support = shared.support();
-    let mut timings = GffTimings::default();
+    let obs = obs::Tracer::new();
+    obs.name_track(0, "gff");
+    for t in 0..cfg.threads as u32 {
+        obs.name_track(obs::THREAD_TRACK_BASE + t, format!("thread {t}"));
+    }
+    let mut t = 0.0f64;
+
     // The seed-map build is an OpenMP-parallel region; its virtual cost is
     // part of the stage total but not of the "non-parallel" bucket.
-    let prep = shared.prep_cost;
+    obs.record(0, "compute", "gff.prep", t, t + shared.prep_cost);
+    t += shared.prep_cost;
 
     // Loop 1 (OpenMP dynamic over all contigs).
     let (weld_lists, costs) = parallel_map_timed(&items, |&i| {
         harvest_contig(i, &shared.contigs, &shared.kmap, &support, cfg)
     });
-    timings.loop1 = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
+    let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    sim.record_spans(&obs, t, obs::THREAD_TRACK_BASE, "gff.loop1");
+    obs.record(0, "compute", "gff.loop1", t, t + sim.makespan);
+    t += sim.makespan;
     let pooled: Vec<Vec<u8>> = weld_lists.into_iter().flatten().collect();
 
     // Weld k-mer index: "setting up the k-mers before the second loop"
-    // (serial region).
+    // (serial region, wall-measured).
     let t0 = std::time::Instant::now();
     let weld_index = WeldKmerIndex::build(&pooled, cfg.k);
-    timings.serial += t0.elapsed().as_secs_f64();
+    let dt = t0.elapsed().as_secs_f64();
+    obs.record(0, "compute", "gff.weld_index", t, t + dt);
+    t += dt;
 
     // Loop 2.
     let (match_lists, costs) = parallel_map_timed(&items, |&i| {
         match_contig(i, &shared.contigs, &weld_index, cfg)
     });
-    timings.loop2 = simulate_loop(&costs, cfg.threads, cfg.schedule).makespan;
+    let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    sim.record_spans(&obs, t, obs::THREAD_TRACK_BASE, "gff.loop2");
+    obs.record(0, "compute", "gff.loop2", t, t + sim.makespan);
+    t += sim.makespan;
     let matches: Vec<(u32, u32)> = match_lists.into_iter().flatten().collect();
 
     // Clustering and output generation (serial region).
     let t0 = std::time::Instant::now();
     let pairs = pairs_from_matches(&matches);
     let (component_of, components) = cluster(n, &pairs);
-    timings.serial += t0.elapsed().as_secs_f64();
+    let dt = t0.elapsed().as_secs_f64();
+    obs.record(0, "compute", "gff.cluster", t, t + dt);
+    t += dt;
 
-    timings.total = prep + timings.loop1 + timings.loop2 + timings.serial;
+    obs.record(0, "stage", "gff.total", 0.0, t);
+    let trace = obs.take();
     GffOutput {
         welds: dedup_preserving_order(pooled),
         pairs,
         component_of,
         components,
-        timings,
+        timings: GffTimings::from_trace(&trace, 0),
+        trace,
     }
 }
 
@@ -192,11 +221,13 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
     let chunk = cfg.chunk_size(n, size);
     let my_items = rank_items(n, comm.rank(), size, chunk);
     let support = shared.support();
-    let mut timings = GffTimings::default();
+    let track = comm.track();
     let start = comm.clock.now();
 
     // Replicated seed-map build (each rank pays for its own parallel copy).
     comm.charge(shared.prep_cost);
+    comm.obs
+        .record(track, "compute", "gff.prep", start, comm.clock.now());
 
     // ---- Loop 1: weld harvest over this rank's chunks ----
     // The compute lock keeps per-item cost measurements uncontended across
@@ -207,22 +238,32 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
     });
     drop(guard);
     let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    let t_before = comm.clock.now();
     comm.charge(sim.makespan);
-    timings.loop1 = sim.makespan;
+    comm.obs.record_with(
+        track,
+        "compute",
+        "gff.loop1",
+        t_before,
+        comm.clock.now(),
+        &[("items", my_items.len() as f64)],
+    );
 
     // Pack the weld strings into a single sequence and pool on every rank.
     let my_welds: Vec<Vec<u8>> = weld_lists.into_iter().flatten().collect();
     let packed = pack_byte_strings(&my_welds);
     let t_before = comm.clock.now();
     let parts = comm.allgatherv(&packed);
-    timings.comm1 = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "gff.comm1", t_before, comm.clock.now());
     let pooled: Vec<Vec<u8>> = parts
         .iter()
         .flat_map(|p| unpack_byte_strings(p).expect("peer sent well-formed weld pack"))
         .collect();
 
     // Weld k-mer index: a non-parallel region on every rank.
-    let weld_index = comm.charge_measured(|| WeldKmerIndex::build(&pooled, cfg.k));
+    let weld_index =
+        comm.charge_measured_named("gff.weld_index", || WeldKmerIndex::build(&pooled, cfg.k));
 
     // ---- Loop 2: weld matching over the same distribution ----
     let guard = mpisim::compute_lock();
@@ -231,15 +272,18 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
     });
     drop(guard);
     let sim = simulate_loop(&costs, cfg.threads, cfg.schedule);
+    let t_before = comm.clock.now();
     comm.charge(sim.makespan);
-    timings.loop2 = sim.makespan;
+    comm.obs
+        .record(track, "compute", "gff.loop2", t_before, comm.clock.now());
 
     // Pool the pairing indices as packed integers.
     let my_matches: Vec<(u32, u32)> = match_lists.into_iter().flatten().collect();
     let flat = pack_matches(&my_matches);
     let t_before = comm.clock.now();
     let parts = comm.allgatherv(&pack_u32s(&flat));
-    timings.comm2 = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "gff.comm2", t_before, comm.clock.now());
     let matches: Vec<(u32, u32)> = parts
         .iter()
         .flat_map(|p| {
@@ -250,7 +294,7 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
 
     // Clustering + output generation: non-parallel, on every rank (the
     // pooled matches are identical everywhere).
-    let (pairs, component_of, components) = comm.charge_measured(|| {
+    let (pairs, component_of, components) = comm.charge_measured_named("gff.cluster", || {
         let pairs = pairs_from_matches(&matches);
         let (component_of, components) = cluster(n, &pairs);
         (pairs, component_of, components)
@@ -259,15 +303,11 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
 
     // Everything that is not the parallel prep, a hybrid loop or an
     // exchange counts as "non-parallel" — the paper's definition (weld
-    // k-mer setup + final output generation + closing sync).
-    timings.total = comm.clock.now() - start;
-    timings.serial = (timings.total
-        - shared.prep_cost
-        - timings.loop1
-        - timings.comm1
-        - timings.loop2
-        - timings.comm2)
-        .max(0.0);
+    // k-mer setup + final output generation + closing sync). The residual
+    // is computed from the named spans by `GffTimings::from_trace`.
+    comm.obs
+        .record(track, "stage", "gff.total", start, comm.clock.now());
+    let timings = GffTimings::from_trace(&comm.obs.snapshot(), track);
 
     GffOutput {
         welds: dedup_preserving_order(pooled),
@@ -275,6 +315,7 @@ pub fn gff_hybrid(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         component_of,
         components,
         timings,
+        trace: obs::Trace::default(),
     }
 }
 
@@ -363,6 +404,44 @@ mod tests {
                 (parts - t.total).abs() <= 1e-6 + 0.05 * t.total,
                 "phases {parts} ≉ total {}",
                 t.total
+            );
+        }
+    }
+
+    #[test]
+    fn shared_memory_trace_has_stage_timeline() {
+        let out = gff_shared_memory(&fixtures());
+        // Track 0 carries the phase timeline under one "gff.total" root.
+        let (s, e) = out.trace.span_bounds(0, "gff.total").unwrap();
+        assert_eq!(s, 0.0);
+        assert!((e - out.timings.total).abs() < 1e-12);
+        assert!(out.trace.span_sum(0, "gff.loop1") > 0.0);
+        let roots = out.trace.tree(0);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "gff.total");
+        assert!(roots[0].children.iter().any(|c| c.name == "gff.loop1"));
+        // OpenMP lanes: thread 0's busy span sits on its own track.
+        assert!(out.trace.span_sum(obs::THREAD_TRACK_BASE, "gff.loop1.busy") > 0.0);
+    }
+
+    #[test]
+    fn hybrid_records_spans_on_comm_tracer() {
+        let shared = Arc::new(fixtures());
+        let outs = run_cluster(2, NetModel::idataplex(), move |comm| {
+            let out = gff_hybrid(comm, &shared);
+            (out.timings, comm.rank() as u32)
+        });
+        for o in &outs {
+            let (timings, track) = o.value;
+            // The rank's spans travelled out through RankOutput::trace.
+            assert!(o.trace.span_bounds(track, "gff.total").is_some());
+            assert!((o.trace.span_sum(track, "gff.comm1") - timings.comm1).abs() < 1e-12);
+            // The comm1 wrapper nests the allgatherv it timed.
+            let rendered = o.trace.render_tree(track);
+            assert!(
+                rendered.contains("gff.comm1\n    mpi.allgatherv")
+                    || rendered.contains("gff.comm1\n  mpi.allgatherv"),
+                "tree:\n{rendered}"
             );
         }
     }
@@ -463,11 +542,13 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
     let size = comm.size();
     let chunk = cfg.chunk_size(n, size);
     let support = shared.support();
-    let mut timings = GffTimings::default();
+    let track = comm.track();
     let start = comm.clock.now();
     let deal = deal_cost(&comm.net);
 
     comm.charge(shared.prep_cost);
+    comm.obs
+        .record(track, "compute", "gff.prep", start, comm.clock.now());
 
     // ---- Loop 1 under dynamic dealing ----
     let chunks = omp::schedule::chunk_sequence(n, size, Schedule::Dynamic { chunk });
@@ -512,8 +593,10 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         .collect();
 
     let (busy, owner) = dynamic_deal(&chunk_costs, size, deal);
+    let t_before = comm.clock.now();
     comm.charge(busy[comm.rank()]);
-    timings.loop1 = busy[comm.rank()];
+    comm.obs
+        .record(track, "compute", "gff.loop1", t_before, comm.clock.now());
 
     // Pool: each rank contributes the welds of the chunks dealt to it.
     let my_welds: Vec<Vec<u8>> = owner
@@ -524,13 +607,15 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         .collect();
     let t_before = comm.clock.now();
     let pooled_parts = comm.allgatherv(&pack_byte_strings(&my_welds));
-    timings.comm1 = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "gff.comm1", t_before, comm.clock.now());
     let pooled: Vec<Vec<u8>> = pooled_parts
         .iter()
         .flat_map(|p| unpack_byte_strings(p).expect("peer sent welds"))
         .collect();
 
-    let weld_index = comm.charge_measured(|| WeldKmerIndex::build(&pooled, cfg.k));
+    let weld_index =
+        comm.charge_measured_named("gff.weld_index", || WeldKmerIndex::build(&pooled, cfg.k));
 
     // ---- Loop 2 under dynamic dealing ----
     let payload = if comm.is_root() {
@@ -573,8 +658,10 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         .collect();
 
     let (busy, owner) = dynamic_deal(&chunk_costs, size, deal);
+    let t_before = comm.clock.now();
     comm.charge(busy[comm.rank()]);
-    timings.loop2 = busy[comm.rank()];
+    comm.obs
+        .record(track, "compute", "gff.loop2", t_before, comm.clock.now());
 
     let my_matches: Vec<u32> = owner
         .iter()
@@ -584,27 +671,23 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         .collect();
     let t_before = comm.clock.now();
     let pooled_parts = comm.allgatherv(&pack_u32s(&my_matches));
-    timings.comm2 = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "gff.comm2", t_before, comm.clock.now());
     let matches: Vec<(u32, u32)> = pooled_parts
         .iter()
         .flat_map(|p| unpack_matches(&unpack_u32s(p).expect("whole u32s")).expect("pairs"))
         .collect();
 
-    let (pairs, component_of, components) = comm.charge_measured(|| {
+    let (pairs, component_of, components) = comm.charge_measured_named("gff.cluster", || {
         let pairs = pairs_from_matches(&matches);
         let (component_of, components) = cluster(n, &pairs);
         (pairs, component_of, components)
     });
     comm.barrier();
 
-    timings.total = comm.clock.now() - start;
-    timings.serial = (timings.total
-        - shared.prep_cost
-        - timings.loop1
-        - timings.comm1
-        - timings.loop2
-        - timings.comm2)
-        .max(0.0);
+    comm.obs
+        .record(track, "stage", "gff.total", start, comm.clock.now());
+    let timings = GffTimings::from_trace(&comm.obs.snapshot(), track);
 
     GffOutput {
         welds: dedup_preserving_order(pooled),
@@ -612,6 +695,7 @@ pub fn gff_hybrid_dynamic(comm: &mut Comm, shared: &GffShared) -> GffOutput {
         component_of,
         components,
         timings,
+        trace: obs::Trace::default(),
     }
 }
 

@@ -133,8 +133,13 @@ impl RttShared {
 pub struct RttOutput {
     /// Assigned reads (unassignable reads are omitted, as in Trinity).
     pub assignments: Vec<(u32, u32)>,
-    /// This rank's phase timings.
+    /// This rank's phase timings (derived from the span trace).
     pub timings: RttTimings,
+    /// Span trace of the stage. Populated by the shared-memory driver
+    /// (virtual timeline from t = 0 on track 0); hybrid ranks record on
+    /// [`Comm::obs`] instead and leave this empty — their spans travel out
+    /// via `mpisim::RankOutput::trace`.
+    pub trace: obs::Trace,
 }
 
 /// Simulated "upload" of one chunk: walk the bytes as a parser would.
@@ -166,35 +171,56 @@ fn assign_chunk(shared: &RttShared, base: usize, chunk: &[Record]) -> (Vec<(u32,
 /// Shared-memory (OpenMP-only) ReadsToTranscripts: the baseline
 /// ("on a single node, … using 16 threads").
 pub fn rtt_shared_memory(shared: &RttShared) -> RttOutput {
-    let mut timings = RttTimings {
-        kmer_setup: shared.kmer_setup_cost,
-        ..Default::default()
-    };
+    let obs = obs::Tracer::new();
+    obs.name_track(0, "rtt");
+    let mut t = 0.0f64;
+    obs.record(
+        0,
+        "compute",
+        "rtt.kmer_setup",
+        t,
+        t + shared.kmer_setup_cost,
+    );
+    t += shared.kmer_setup_cost;
+
     let mut assignments = Vec::new();
     let chunk_size = shared.cfg.max_mem_reads.max(1);
     for (ci, chunk) in shared.reads.chunks(chunk_size).enumerate() {
         let t0 = std::time::Instant::now();
         std::hint::black_box(stream_chunk(chunk));
-        timings.io += t0.elapsed().as_secs_f64();
+        let io = t0.elapsed().as_secs_f64();
+        obs.record_with(0, "io", "rtt.io", t, t + io, &[("chunk", ci as f64)]);
+        t += io;
         let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
         assignments.append(&mut a);
-        timings.main_loop += makespan;
+        obs.record_with(
+            0,
+            "compute",
+            "rtt.loop",
+            t,
+            t + makespan,
+            &[("chunk", ci as f64), ("reads", chunk.len() as f64)],
+        );
+        t += makespan;
     }
-    timings.total = timings.kmer_setup + timings.io + timings.main_loop;
+    obs.record(0, "stage", "rtt.total", 0.0, t);
+    let trace = obs.take();
     RttOutput {
         assignments,
-        timings,
+        timings: RttTimings::from_trace(&trace, 0),
+        trace,
     }
 }
 
 /// Hybrid MPI+OpenMP ReadsToTranscripts — one rank's program (§III-C).
 pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
+    let track = comm.track();
     let start = comm.clock.now();
-    let mut timings = RttTimings::default();
 
     // Replicated k-mer→bundle table (OpenMP-only region, per rank).
     comm.charge(shared.kmer_setup_cost);
-    timings.kmer_setup = shared.kmer_setup_cost;
+    comm.obs
+        .record(track, "compute", "rtt.kmer_setup", start, comm.clock.now());
 
     let size = comm.size();
     let rank = comm.rank();
@@ -210,13 +236,29 @@ pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
         let t0 = std::time::Instant::now();
         std::hint::black_box(stream_chunk(chunk));
         let io = t0.elapsed().as_secs_f64();
+        let t_before = comm.clock.now();
         comm.charge(io);
-        timings.io += io;
+        comm.obs.record_with(
+            track,
+            "io",
+            "rtt.io",
+            t_before,
+            comm.clock.now(),
+            &[("chunk", ci as f64)],
+        );
         // ...but only processes the chunks congruent to its rank.
         if ci % size == rank {
             let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
+            let t_before = comm.clock.now();
             comm.charge(makespan);
-            timings.main_loop += makespan;
+            comm.obs.record_with(
+                track,
+                "compute",
+                "rtt.loop",
+                t_before,
+                comm.clock.now(),
+                &[("chunk", ci as f64), ("reads", chunk.len() as f64)],
+            );
             my_assignments.append(&mut a);
         }
     }
@@ -251,15 +293,18 @@ pub fn rtt_hybrid(comm: &mut Comm, shared: &RttShared) -> RttOutput {
     // (in the paper only the master's file exists; broadcasting keeps the
     // simulation's outputs comparable without changing the timing story).
     let merged = comm.bcast(0, &merged_bytes);
-    timings.concat = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "rtt.concat", t_before, comm.clock.now());
 
     let flat = unpack_u32s(&merged).expect("root sent whole u32s");
     let assignments: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
 
-    timings.total = comm.clock.now() - start;
+    comm.obs
+        .record(track, "stage", "rtt.total", start, comm.clock.now());
     RttOutput {
         assignments,
-        timings,
+        timings: RttTimings::from_trace(&comm.obs.snapshot(), track),
+        trace: obs::Trace::default(),
     }
 }
 
@@ -352,6 +397,42 @@ mod tests {
     }
 
     #[test]
+    fn shared_memory_trace_matches_timings() {
+        let shared = fixtures();
+        let out = rtt_shared_memory(&shared);
+        let (s, e) = out.trace.span_bounds(0, "rtt.total").unwrap();
+        assert_eq!(s, 0.0);
+        assert!((e - out.timings.total).abs() < 1e-12);
+        assert!((out.trace.span_sum(0, "rtt.io") - out.timings.io).abs() < 1e-12);
+        // One io span per chunk (17 reads, chunk size 3 -> 6 chunks).
+        assert_eq!(
+            out.trace
+                .on_track(0)
+                .filter(|sp| sp.name == "rtt.io")
+                .count(),
+            6
+        );
+        let roots = out.trace.tree(0);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "rtt.total");
+    }
+
+    #[test]
+    fn hybrid_records_spans_on_comm_tracer() {
+        let shared = Arc::new(fixtures());
+        let outs = run_cluster(2, NetModel::idataplex(), move |comm| {
+            let out = rtt_hybrid(comm, &shared);
+            (out.timings, comm.rank() as u32)
+        });
+        for o in &outs {
+            let (timings, track) = o.value;
+            assert!(o.trace.span_bounds(track, "rtt.total").is_some());
+            assert!((o.trace.span_sum(track, "rtt.loop") - timings.main_loop).abs() < 1e-12);
+            assert!((o.trace.span_sum(track, "rtt.concat") - timings.concat).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn ties_break_to_smaller_component() {
         let contigs = vec![rec("c0", C0), rec("c1", C0)]; // identical contigs
         let components = vec![vec![0], vec![1]];
@@ -387,11 +468,12 @@ mod tests {
 /// term of §III-C disappears; everything else (assignment, gather, concat)
 /// is unchanged, so outputs match `rtt_hybrid` exactly.
 pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
+    let track = comm.track();
     let start = comm.clock.now();
-    let mut timings = RttTimings::default();
 
     comm.charge(shared.kmer_setup_cost);
-    timings.kmer_setup = shared.kmer_setup_cost;
+    comm.obs
+        .record(track, "compute", "rtt.kmer_setup", start, comm.clock.now());
 
     let size = comm.size();
     let rank = comm.rank();
@@ -406,11 +488,27 @@ pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
         let t0 = std::time::Instant::now();
         std::hint::black_box(stream_chunk(chunk));
         let io = t0.elapsed().as_secs_f64();
+        let t_before = comm.clock.now();
         comm.charge(io);
-        timings.io += io;
+        comm.obs.record_with(
+            track,
+            "io",
+            "rtt.io",
+            t_before,
+            comm.clock.now(),
+            &[("chunk", ci as f64)],
+        );
         let (mut a, makespan) = assign_chunk(shared, ci * chunk_size, chunk);
+        let t_before = comm.clock.now();
         comm.charge(makespan);
-        timings.main_loop += makespan;
+        comm.obs.record_with(
+            track,
+            "compute",
+            "rtt.loop",
+            t_before,
+            comm.clock.now(),
+            &[("chunk", ci as f64), ("reads", chunk.len() as f64)],
+        );
         my_assignments.append(&mut a);
     }
     drop(guard);
@@ -438,15 +536,18 @@ pub fn rtt_hybrid_striped(comm: &mut Comm, shared: &RttShared) -> RttOutput {
         Vec::new()
     };
     let merged = comm.bcast(0, &merged_bytes);
-    timings.concat = comm.clock.now() - t_before;
+    comm.obs
+        .record(track, "comm", "rtt.concat", t_before, comm.clock.now());
 
     let flat = unpack_u32s(&merged).expect("root sent whole u32s");
     let assignments: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
 
-    timings.total = comm.clock.now() - start;
+    comm.obs
+        .record(track, "stage", "rtt.total", start, comm.clock.now());
     RttOutput {
         assignments,
-        timings,
+        timings: RttTimings::from_trace(&comm.obs.snapshot(), track),
+        trace: obs::Trace::default(),
     }
 }
 

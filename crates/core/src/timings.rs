@@ -1,4 +1,13 @@
 //! Timing records for the Chrysalis stages — the quantities Figs. 7–10 plot.
+//!
+//! Since the `obs` layer landed, these are *views* over an [`obs::Trace`]:
+//! the stage drivers record named spans (`"gff.loop1"`, `"rtt.io"`, …) and
+//! the [`GffTimings::from_trace`] / [`RttTimings::from_trace`] constructors
+//! fold them back into the flat per-rank records the figure drivers plot.
+//! [`PhaseSpread`] itself now lives in `obs` and is re-exported here.
+
+/// Min/max/mean of one phase across ranks (re-exported from [`obs`]).
+pub use obs::PhaseSpread;
 
 /// Per-rank GraphFromFasta phase times (virtual seconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -17,6 +26,33 @@ pub struct GffTimings {
     pub total: f64,
 }
 
+impl GffTimings {
+    /// Fold one rank's `gff.*` spans back into the flat record.
+    ///
+    /// `loop1/comm1/loop2/comm2` are the summed durations of the spans of
+    /// the same name on `track`; `total` is the extent of the `"gff.total"`
+    /// stage span; `serial` is the residual — total minus the four phases
+    /// and the `"gff.prep"` span — clamped at zero.
+    pub fn from_trace(trace: &obs::Trace, track: u32) -> GffTimings {
+        let loop1 = trace.span_sum(track, "gff.loop1");
+        let comm1 = trace.span_sum(track, "gff.comm1");
+        let loop2 = trace.span_sum(track, "gff.loop2");
+        let comm2 = trace.span_sum(track, "gff.comm2");
+        let prep = trace.span_sum(track, "gff.prep");
+        let total = trace
+            .span_bounds(track, "gff.total")
+            .map_or(0.0, |(s, e)| e - s);
+        GffTimings {
+            loop1,
+            comm1,
+            loop2,
+            comm2,
+            serial: (total - prep - loop1 - comm1 - loop2 - comm2).max(0.0),
+            total,
+        }
+    }
+}
+
 /// Per-rank ReadsToTranscripts phase times (virtual seconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RttTimings {
@@ -33,47 +69,20 @@ pub struct RttTimings {
     pub total: f64,
 }
 
-/// Min/max/mean of one phase across ranks — the load-imbalance bars of
-/// Figs. 7 and 9.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct PhaseSpread {
-    /// Fastest rank's time.
-    pub min: f64,
-    /// Slowest rank's time (the representative time, per §V-A).
-    pub max: f64,
-    /// Mean across ranks.
-    pub mean: f64,
-}
-
-impl PhaseSpread {
-    /// Compute the spread of one extracted phase over per-rank records.
-    pub fn over<T>(records: &[T], phase: impl Fn(&T) -> f64) -> PhaseSpread {
-        if records.is_empty() {
-            return PhaseSpread::default();
-        }
-        let mut min = f64::INFINITY;
-        let mut max = 0.0f64;
-        let mut sum = 0.0f64;
-        for r in records {
-            let v = phase(r);
-            min = min.min(v);
-            max = max.max(v);
-            sum += v;
-        }
-        PhaseSpread {
-            min,
-            max,
-            mean: sum / records.len() as f64,
-        }
-    }
-
-    /// Max/min ratio (the paper quotes "the highest time of a process more
-    /// than three times the process with the lowest time" at 192 nodes).
-    pub fn imbalance(&self) -> f64 {
-        if self.min == 0.0 {
-            1.0
-        } else {
-            self.max / self.min
+impl RttTimings {
+    /// Fold one rank's `rtt.*` spans back into the flat record:
+    /// `kmer_setup`/`io`/`concat` sum the spans of the same name,
+    /// `main_loop` sums `"rtt.loop"`, and `total` is the extent of the
+    /// `"rtt.total"` stage span.
+    pub fn from_trace(trace: &obs::Trace, track: u32) -> RttTimings {
+        RttTimings {
+            kmer_setup: trace.span_sum(track, "rtt.kmer_setup"),
+            main_loop: trace.span_sum(track, "rtt.loop"),
+            io: trace.span_sum(track, "rtt.io"),
+            concat: trace.span_sum(track, "rtt.concat"),
+            total: trace
+                .span_bounds(track, "rtt.total")
+                .map_or(0.0, |(s, e)| e - s),
         }
     }
 }
@@ -97,5 +106,49 @@ mod tests {
         let s = PhaseSpread::over::<f64>(&[], |&t| t);
         assert_eq!(s.max, 0.0);
         assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn gff_from_trace_sums_phases_and_residual() {
+        let tr = obs::Tracer::new();
+        tr.record(2, "stage", "gff.total", 0.0, 10.0);
+        tr.record(2, "compute", "gff.prep", 0.0, 1.0);
+        tr.record(2, "compute", "gff.loop1", 1.0, 4.0);
+        tr.record(2, "comm", "gff.comm1", 4.0, 5.0);
+        tr.record(2, "compute", "gff.loop2", 5.0, 7.0);
+        tr.record(2, "comm", "gff.comm2", 7.0, 7.5);
+        let t = GffTimings::from_trace(&tr.take(), 2);
+        assert_eq!(t.loop1, 3.0);
+        assert_eq!(t.comm1, 1.0);
+        assert_eq!(t.loop2, 2.0);
+        assert_eq!(t.comm2, 0.5);
+        assert_eq!(t.total, 10.0);
+        assert!((t.serial - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtt_from_trace_sums_repeated_spans() {
+        let tr = obs::Tracer::new();
+        tr.record(0, "stage", "rtt.total", 0.0, 8.0);
+        tr.record(0, "compute", "rtt.kmer_setup", 0.0, 2.0);
+        // Chunked streaming: io/loop spans repeat per chunk and must sum.
+        tr.record(0, "io", "rtt.io", 2.0, 2.5);
+        tr.record(0, "compute", "rtt.loop", 2.5, 4.0);
+        tr.record(0, "io", "rtt.io", 4.0, 4.5);
+        tr.record(0, "compute", "rtt.loop", 4.5, 6.0);
+        tr.record(0, "comm", "rtt.concat", 6.0, 8.0);
+        let t = RttTimings::from_trace(&tr.take(), 0);
+        assert_eq!(t.kmer_setup, 2.0);
+        assert_eq!(t.io, 1.0);
+        assert_eq!(t.main_loop, 3.0);
+        assert_eq!(t.concat, 2.0);
+        assert_eq!(t.total, 8.0);
+    }
+
+    #[test]
+    fn missing_spans_give_zeroed_timings() {
+        let empty = obs::Trace::default();
+        assert_eq!(GffTimings::from_trace(&empty, 0), GffTimings::default());
+        assert_eq!(RttTimings::from_trace(&empty, 0), RttTimings::default());
     }
 }

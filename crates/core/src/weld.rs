@@ -180,6 +180,17 @@ impl KmerContigMap {
     pub fn is_empty(&self) -> bool {
         self.index.is_empty()
     }
+
+    /// Record the seed index's table health (entries, capacity, load
+    /// factor, probe-length histogram — see
+    /// [`PackedKmerTable::record_metrics`]) plus a `{prefix}.occurrences`
+    /// counter (total seed occurrences across contigs) into `registry`.
+    pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        self.index.record_metrics(registry, prefix);
+        registry
+            .counter(format!("{prefix}.occurrences"))
+            .add(self.pool.iter().map(Vec::len).sum::<usize>() as u64);
+    }
 }
 
 /// Read-support oracle over the Jellyfish k-mer table: a weld is supported
@@ -415,6 +426,19 @@ mod tests {
         let occs = kmap.occurrences(seed);
         assert_eq!(occs.len(), 2);
         assert_ne!(occs[0].contig, occs[1].contig);
+    }
+
+    #[test]
+    fn kmap_metrics_count_occurrences() {
+        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let kmap = KmerContigMap::build(&contigs, K);
+        let reg = obs::MetricsRegistry::new();
+        kmap.record_metrics(&reg, "gff.kmap");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("gff.kmap.entries"), Some(kmap.len() as u64));
+        // Both contigs contribute every window; the shared seed occurs twice.
+        let windows: usize = contigs.iter().map(|c| c.seq.len() - (K - 1) + 1).sum();
+        assert_eq!(snap.counter("gff.kmap.occurrences"), Some(windows as u64));
     }
 
     #[test]

@@ -122,6 +122,16 @@ impl KmerCounts {
         debug_assert_eq!(km.k(), self.k);
         self.counts.add(km.packed(), count);
     }
+
+    /// Record the underlying table's health (entries, capacity, load
+    /// factor, probe-length histogram) plus `{prefix}.total_count` into
+    /// `registry`. See [`PackedKmerTable::record_metrics`].
+    pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        self.counts.record_metrics(registry, prefix);
+        registry
+            .counter(format!("{prefix}.total_count"))
+            .add(self.total());
+    }
 }
 
 /// Count all k-mers of `reads` per `cfg`. Runs the counting loop over the
@@ -250,6 +260,17 @@ mod tests {
         let counts = count_kmers(&reads, cfg(5, true));
         assert!(counts.is_empty());
         assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn metrics_reflect_counts() {
+        let counts = count_kmers(&[b"ACGTACGT".as_slice()], cfg(4, false));
+        let reg = obs::MetricsRegistry::new();
+        counts.record_metrics(&reg, "jellyfish");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jellyfish.entries"), Some(4));
+        assert_eq!(snap.counter("jellyfish.total_count"), Some(5));
+        assert!(snap.gauge("jellyfish.load_factor").unwrap() > 0.0);
     }
 
     #[test]

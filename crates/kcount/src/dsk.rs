@@ -1,6 +1,6 @@
 //! DSK-style disk-partitioned k-mer counting.
 //!
-//! The paper (§II-A) points at DSK [20] — "k-mer counting with very low
+//! The paper (§II-A) points at DSK \[20\] — "k-mer counting with very low
 //! memory usage" — as the alternative to Jellyfish's large in-memory
 //! table, and lists memory-footprint reduction as future work (§VI). This
 //! module implements the DSK idea: k-mers are hashed into `P` partition

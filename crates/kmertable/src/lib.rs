@@ -25,6 +25,8 @@
 //! two decisions never correlate); [`PackedWeldSet`] is the same layout
 //! over `u128` keys for ≤63-base weld windows.
 
+#![warn(missing_docs)]
+
 pub mod set;
 pub mod sharded;
 pub mod table;

@@ -13,6 +13,25 @@ use crate::table::PackedKmerTable;
 /// [`PackedKmerTable`] behind a mutex; worker threads stage counts in a
 /// thread-local table and flush with [`absorb`](Self::absorb), which sorts
 /// the staged entries by shard and takes each lock exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use kmertable::ShardedKmerTable;
+///
+/// let table = ShardedKmerTable::new(8);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             for kmer in 0..100u64 {
+///                 table.add(kmer, 1); // concurrent counting
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(table.get(42), Some(4));
+/// assert_eq!(table.into_merged().len(), 100);
+/// ```
 #[derive(Debug)]
 pub struct ShardedKmerTable {
     shards: Vec<Mutex<PackedKmerTable>>,
@@ -84,6 +103,16 @@ impl ShardedKmerTable {
     /// True if every shard is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Record every shard's health into `registry` under one shared
+    /// `prefix` (entries/capacities sum across shards; the load-factor
+    /// gauge ends up holding the last shard's value, which is
+    /// representative — the shard hash spreads keys evenly).
+    pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        for shard in &self.shards {
+            shard.lock().record_metrics(registry, prefix);
+        }
     }
 
     /// Merge all shards into one owned table. Shards are disjoint by
@@ -174,5 +203,18 @@ mod tests {
     #[test]
     fn merge_of_empty_is_empty() {
         assert!(ShardedKmerTable::new(4).into_merged().is_empty());
+    }
+
+    #[test]
+    fn sharded_metrics_aggregate() {
+        let t = ShardedKmerTable::new(4);
+        for k in 0..800u64 {
+            t.add(k, 1);
+        }
+        let reg = obs::MetricsRegistry::new();
+        t.record_metrics(&reg, "jf");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jf.entries"), Some(800));
+        assert_eq!(snap.histogram("jf.probe_len").unwrap().count, 800);
     }
 }

@@ -234,6 +234,50 @@ impl PackedKmerTable {
             .chain(self.max_key.map(|v| (EMPTY, v)))
     }
 
+    /// Fraction of allocated slots occupied, in `[0, 0.5]` by the load cap
+    /// (0 for an unallocated table).
+    pub fn load_factor(&self) -> f64 {
+        if self.keys.is_empty() {
+            0.0
+        } else {
+            self.occupied as f64 / self.keys.len() as f64
+        }
+    }
+
+    /// Probe length (displacement from the home slot) of every stored
+    /// in-array key, by walking the table once. Probing itself stays
+    /// uninstrumented — this reconstructs the exact chain lengths offline,
+    /// at zero hot-path cost.
+    pub fn probe_lengths(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.iter().enumerate().filter_map(move |(i, &k)| {
+            if k == EMPTY {
+                None
+            } else {
+                let home = (mix64(k) as usize) & self.mask;
+                Some((i.wrapping_sub(home) & self.mask) as u64)
+            }
+        })
+    }
+
+    /// Record table health into `registry`: `{prefix}.entries` and
+    /// `{prefix}.capacity` as counters, `{prefix}.load_factor` as a gauge
+    /// and `{prefix}.probe_len` as a histogram of per-key displacements.
+    pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        registry
+            .counter(format!("{prefix}.entries"))
+            .add(self.len() as u64);
+        registry
+            .counter(format!("{prefix}.capacity"))
+            .add(self.capacity() as u64);
+        registry
+            .gauge(format!("{prefix}.load_factor"))
+            .set(self.load_factor());
+        let h = registry.histogram(format!("{prefix}.probe_len"));
+        for d in self.probe_lengths() {
+            h.record(d);
+        }
+    }
+
     /// Keep only entries where `pred(key, value)` holds. Rebuilds the
     /// backing array (no tombstones); off-hot-path by design.
     pub fn retain(&mut self, mut pred: impl FnMut(u64, u32) -> bool) {
@@ -387,6 +431,28 @@ mod tests {
         let t: PackedKmerTable = [(1u64, 1u32), (2, 2), (1, 9)].into_iter().collect();
         assert_eq!(t.get(1), Some(9));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn probe_stats_reflect_occupancy() {
+        let mut t = PackedKmerTable::new();
+        assert_eq!(t.load_factor(), 0.0);
+        for k in 0..1000u64 {
+            t.insert(k, 0);
+        }
+        assert!(t.load_factor() > 0.0 && t.load_factor() <= 0.5);
+        let lens: Vec<u64> = t.probe_lengths().collect();
+        assert_eq!(lens.len(), 1000);
+        // Linear probing at <=1/2 load keeps chains short on average.
+        let mean = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
+        assert!(mean < 2.0, "mean displacement {mean}");
+        // Every stored key must be reachable within its recorded length.
+        let reg = obs::MetricsRegistry::new();
+        t.record_metrics(&reg, "tbl");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tbl.entries"), Some(1000));
+        assert_eq!(snap.histogram("tbl.probe_len").unwrap().count, 1000);
+        assert_eq!(snap.gauge("tbl.load_factor"), Some(t.load_factor()));
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct RankOutput<T> {
     pub time: f64,
     /// Communication counters.
     pub stats: CommStats,
+    /// Spans recorded by the rank (collectives, named measured sections),
+    /// on track `rank`, in virtual time.
+    pub trace: obs::Trace,
 }
 
 /// Run `f` on `ranks` simulated MPI ranks and collect every rank's output,
@@ -69,6 +72,7 @@ where
                             rank,
                             value,
                             time: comm.clock.now(),
+                            trace: comm.obs.take(),
                             stats: comm.stats,
                         });
                     })
@@ -94,6 +98,16 @@ where
 /// elapsed time for the run (what the paper plots).
 pub fn cluster_time<T>(outputs: &[RankOutput<T>]) -> f64 {
     outputs.iter().map(|o| o.time).fold(0.0, f64::max)
+}
+
+/// Merge every rank's recorded spans into one [`obs::Trace`] (per-rank
+/// tracks already equal rank ids, so no shifting is needed).
+pub fn merge_traces<T>(outputs: &[RankOutput<T>]) -> obs::Trace {
+    let mut merged = obs::Trace::default();
+    for o in outputs {
+        merged.merge_shifted(o.trace.clone(), 0.0, 0);
+    }
+    merged
 }
 
 /// Convenience: (min, max) rank times — the paper's load-imbalance bars.
@@ -130,8 +144,7 @@ mod tests {
     fn allgatherv_collects_everything() {
         let out = run_cluster(4, NetModel::ideal(), |comm| {
             let mine = vec![comm.rank() as u8; comm.rank() + 1];
-            let all = comm.allgatherv(&mine);
-            all
+            comm.allgatherv(&mine)
         });
         for o in &out {
             assert_eq!(o.value.len(), 4);
@@ -274,6 +287,28 @@ mod tests {
         assert!((min - 1.0).abs() < 1e-12);
         assert!((max - 3.0).abs() < 1e-12);
         assert!((cluster_time(&out) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collectives_record_spans() {
+        let out = run_cluster(2, NetModel::idataplex(), |comm| {
+            comm.charge(1.0);
+            comm.allgatherv(&[0u8; 256]);
+            comm.barrier();
+            comm.charge_measured_named("work", || std::hint::black_box(7));
+        });
+        let trace = merge_traces(&out);
+        for rank in 0..2u32 {
+            let names: Vec<&str> = trace.on_track(rank).map(|s| s.name.as_str()).collect();
+            assert_eq!(names, vec!["mpi.allgatherv", "mpi.barrier", "work"]);
+        }
+        let ag = trace.with_cat("comm")[0];
+        assert_eq!(ag.arg("bytes_sent"), Some(256.0));
+        assert!(ag.start >= 1.0 && ag.end > ag.start);
+        assert_eq!(
+            trace.track_names.get(&1).map(String::as_str),
+            Some("rank 1")
+        );
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct Comm {
     pub net: NetModel,
     /// Communication counters.
     pub stats: CommStats,
+    /// Span recorder: every collective logs a `cat:"comm"` span on track
+    /// `rank` in virtual time, and [`Comm::charge_measured_named`] logs
+    /// `cat:"compute"` spans. Drained into
+    /// [`crate::cluster::RankOutput::trace`] when the rank finishes.
+    pub obs: obs::Tracer,
 }
 
 impl Comm {
@@ -54,6 +59,8 @@ impl Comm {
         inbox: Receiver<Message>,
         net: NetModel,
     ) -> Self {
+        let tracer = obs::Tracer::new();
+        tracer.name_track(rank as u32, format!("rank {rank}"));
         Comm {
             rank,
             shared,
@@ -62,7 +69,14 @@ impl Comm {
             clock: VClock::new(),
             net,
             stats: CommStats::default(),
+            obs: tracer,
         }
+    }
+
+    /// This rank's obs track id (`rank` as `u32`).
+    #[inline]
+    pub fn track(&self) -> u32 {
+        self.rank as u32
     }
 
     /// This rank's id, `0..size`.
@@ -101,6 +115,16 @@ impl Comm {
         let out = f();
         self.clock.charge(t0.elapsed().as_secs_f64());
         drop(guard);
+        out
+    }
+
+    /// [`Comm::charge_measured`] plus a named `cat:"compute"` span on this
+    /// rank's track covering the charged virtual-time interval.
+    pub fn charge_measured_named<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = self.clock.now();
+        let out = self.charge_measured(f);
+        self.obs
+            .record(self.track(), "compute", name, start, self.clock.now());
         out
     }
 
@@ -157,15 +181,19 @@ impl Comm {
     /// Synchronize all ranks (`MPI_Barrier`): clocks advance to the latest
     /// entry time plus the barrier's latency cost.
     pub fn barrier(&mut self) {
+        let start = self.clock.now();
         let entry_max = self.exchange_times();
         self.clock
             .advance_to(entry_max + self.net.barrier(self.size()));
         self.stats.collectives += 1;
+        self.obs
+            .record(self.track(), "comm", "mpi.barrier", start, self.clock.now());
     }
 
     /// `MPI_Allgatherv` over raw bytes: every rank contributes a buffer and
     /// receives every rank's buffer, indexed by rank.
     pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let start = self.clock.now();
         *self.shared.slots[self.rank].lock() = data.to_vec();
         *self.shared.times[self.rank].lock() = self.clock.now();
         self.shared.barrier.wait();
@@ -180,12 +208,24 @@ impl Comm {
         self.stats.collectives += 1;
         self.stats.bytes_sent += data.len() as u64;
         self.stats.bytes_received += (total - data.len()) as u64;
+        self.obs.record_with(
+            self.track(),
+            "comm",
+            "mpi.allgatherv",
+            start,
+            self.clock.now(),
+            &[
+                ("bytes_sent", data.len() as f64),
+                ("bytes_total", total as f64),
+            ],
+        );
         parts
     }
 
     /// `MPI_Bcast` from `root`: returns the root's buffer on every rank.
     pub fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         assert!(root < self.size());
+        let start = self.clock.now();
         if self.rank == root {
             *self.shared.slots[root].lock() = data.to_vec();
         }
@@ -202,6 +242,14 @@ impl Comm {
         } else {
             self.stats.bytes_received += out.len() as u64;
         }
+        self.obs.record_with(
+            self.track(),
+            "comm",
+            "mpi.bcast",
+            start,
+            self.clock.now(),
+            &[("bytes", out.len() as f64)],
+        );
         out
     }
 
@@ -209,6 +257,7 @@ impl Comm {
     /// by rank); other ranks receive `None`.
     pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size());
+        let start = self.clock.now();
         *self.shared.slots[self.rank].lock() = data.to_vec();
         *self.shared.times[self.rank].lock() = self.clock.now();
         self.shared.barrier.wait();
@@ -235,6 +284,14 @@ impl Comm {
             let others: usize = parts.iter().map(Vec::len).sum::<usize>() - data.len();
             self.stats.bytes_received += others as u64;
         }
+        self.obs.record_with(
+            self.track(),
+            "comm",
+            "mpi.gatherv",
+            start,
+            self.clock.now(),
+            &[("bytes_sent", data.len() as f64)],
+        );
         out
     }
 

@@ -22,6 +22,8 @@
 //! principled communication model, not from wall-clock measurements of an
 //! oversubscribed laptop.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod cluster;
 pub mod comm;
@@ -30,7 +32,7 @@ pub mod pack;
 pub mod stats;
 
 pub use clock::VClock;
-pub use cluster::{run_cluster, RankOutput};
+pub use cluster::{merge_traces, run_cluster, RankOutput};
 pub use comm::Comm;
 pub use netmodel::NetModel;
 pub use stats::CommStats;

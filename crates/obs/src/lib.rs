@@ -1,0 +1,86 @@
+//! Unified observability layer for the pipeline: span tracing + metrics.
+//!
+//! The paper's whole argument rests on per-phase timing breakdowns — the
+//! loop/comm/serial splits of Figs. 7–10 and the collectl-style stage
+//! traces of Figs. 2/11. Before this crate those numbers were produced by
+//! hand-threaded floats scattered over `core::timings` and a bespoke
+//! `trinity::collectl` emulator; now every crate records into the same two
+//! primitives:
+//!
+//! * [`Tracer`] — a thread-safe recorder of named, categorized time
+//!   intervals ([`SpanRecord`]s) on per-rank/per-thread *tracks*, driven
+//!   either by wall-clock RAII guards ([`Span`]) or by explicit
+//!   virtual-clock timestamps ([`Tracer::record`]);
+//! * [`MetricsRegistry`] — named typed counters, gauges and power-of-two
+//!   histograms (bytes sent, k-mers welded, probe lengths, queue depths).
+//!
+//! A finished [`Trace`] exports to plain JSON ([`export::trace_json`]) or
+//! to the Chrome `trace_event` format ([`export::chrome_trace`]) so any
+//! run opens directly in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+//!
+//! The crate is deliberately **zero-dependency** (std only): it sits at
+//! the root of the workspace dependency graph so `mpisim`, `omp`,
+//! `kmertable`, `kcount`, `chrysalis` and `trinity` can all record into it.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{Obs, export};
+//!
+//! let obs = Obs::new();
+//! {
+//!     let _stage = obs.tracer.span("assemble");       // wall-clock RAII
+//!     obs.metrics.counter("contigs").add(3);
+//! }
+//! obs.tracer.record(1, "comm", "mpi.allgatherv", 0.5, 0.9); // virtual time
+//! let trace = obs.tracer.take();
+//! assert_eq!(trace.spans.len(), 2);
+//! let json = export::chrome_trace(&trace);
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod stats;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{CounterSample, Span, SpanNode, SpanRecord, Trace, Tracer};
+pub use stats::PhaseSpread;
+
+/// First track id used for per-thread (OpenMP worker) spans, keeping them
+/// visually separate from rank tracks in Chrome/Perfetto. Rank `r` records
+/// on track `r`; thread `t` of a replayed loop records on
+/// `THREAD_TRACK_BASE + t`.
+pub const THREAD_TRACK_BASE: u32 = 1000;
+
+/// A tracer and a metrics registry bundled together — the handle most
+/// instrumented call-sites take. Cloning is cheap (both halves are
+/// internally reference-counted) and clones record into the same storage.
+///
+/// # Examples
+///
+/// ```
+/// let obs = obs::Obs::new();
+/// let clone = obs.clone();
+/// clone.metrics.counter("reads").add(10);
+/// assert_eq!(obs.metrics.snapshot().counter("reads"), Some(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// The span recorder.
+    pub tracer: Tracer,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl Obs {
+    /// A fresh tracer + registry pair.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+}

@@ -1,0 +1,534 @@
+//! Span tracing: RAII wall-clock timers, explicit virtual-clock records,
+//! and the [`Trace`] they accumulate into.
+//!
+//! A *span* is a named, categorized `[start, end)` interval on a *track*.
+//! Tracks are small integers that map onto Chrome/Perfetto thread lanes:
+//! the convention across this workspace is track `r` for MPI rank `r`
+//! (track 0 doubles as the serial/pipeline lane) and
+//! [`crate::THREAD_TRACK_BASE`]` + t` for OpenMP worker thread `t`.
+//!
+//! Two time sources coexist:
+//!
+//! * **wall time** — [`Tracer::span`] returns a RAII [`Span`] guard that
+//!   measures real elapsed time against the tracer's epoch;
+//! * **virtual time** — [`Tracer::record`] takes explicit start/end
+//!   seconds, which is how the `mpisim` virtual clocks and the `omp`
+//!   makespan replays report (the timebase of every figure in the paper).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: a named interval on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"gff.loop1"` or `"mpi.allgatherv"`.
+    pub name: String,
+    /// Category: `"stage"`, `"compute"`, `"comm"`, `"io"`, `"omp"`, … —
+    /// becomes the Chrome `cat` field, filterable in Perfetto.
+    pub cat: String,
+    /// Track (Chrome `tid`): rank id, or `THREAD_TRACK_BASE + thread`.
+    pub track: u32,
+    /// Start time, seconds (virtual or wall, per the recording call).
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Numeric attributes (bytes moved, items processed, …), exported as
+    /// Chrome `args`.
+    pub args: Vec<(String, f64)>,
+}
+
+impl SpanRecord {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Look up a numeric attribute by name.
+    pub fn arg(&self, name: &str) -> Option<f64> {
+        self.args.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
+
+/// One sample of a named counter series (RAM, queue depth, …); exported as
+/// a Chrome `ph:"C"` counter event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter name.
+    pub name: String,
+    /// Track the sample belongs to.
+    pub track: u32,
+    /// Sample time, seconds.
+    pub ts: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A finished trace: every recorded span and counter sample, plus optional
+/// human-readable track names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// All counter samples, in recording order.
+    pub counters: Vec<CounterSample>,
+    /// Track id → display name (Chrome `thread_name` metadata).
+    pub track_names: BTreeMap<u32, String>,
+}
+
+impl Trace {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Latest end time across all spans and samples (the trace horizon).
+    pub fn total_time(&self) -> f64 {
+        let span_max = self.spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        let ctr_max = self.counters.iter().map(|c| c.ts).fold(0.0, f64::max);
+        span_max.max(ctr_max)
+    }
+
+    /// Spans on `track`, in recording order.
+    pub fn on_track(&self, track: u32) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.track == track)
+    }
+
+    /// Spans whose category equals `cat`, in recording order.
+    pub fn with_cat(&self, cat: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.cat == cat).collect()
+    }
+
+    /// Sum of durations of spans named exactly `name` on `track`.
+    pub fn span_sum(&self, track: u32, name: &str) -> f64 {
+        self.on_track(track)
+            .filter(|s| s.name == name)
+            .map(SpanRecord::duration)
+            .sum()
+    }
+
+    /// `(start, end)` of the first span named `name` on `track`.
+    pub fn span_bounds(&self, track: u32, name: &str) -> Option<(f64, f64)> {
+        self.on_track(track)
+            .find(|s| s.name == name)
+            .map(|s| (s.start, s.end))
+    }
+
+    /// Maximum sampled value of counter `name` (any track), if sampled.
+    pub fn max_counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Absorb `other`, shifting its times by `dt` seconds and its tracks by
+    /// `track_offset`. Used to splice per-rank cluster traces (whose virtual
+    /// clocks start at 0) into a pipeline-level timeline.
+    pub fn merge_shifted(&mut self, other: Trace, dt: f64, track_offset: u32) {
+        for mut s in other.spans {
+            s.start += dt;
+            s.end += dt;
+            s.track += track_offset;
+            self.spans.push(s);
+        }
+        for mut c in other.counters {
+            c.ts += dt;
+            c.track += track_offset;
+            self.counters.push(c);
+        }
+        for (t, n) in other.track_names {
+            self.track_names.entry(t + track_offset).or_insert(n);
+        }
+    }
+
+    /// Build the nesting tree of one track's spans by interval containment:
+    /// a span is a child of the tightest span that contains it. Spans are
+    /// sorted by `(start asc, end desc)` so parents precede children; spans
+    /// with *identical* intervals tie-break by recording order, later first
+    /// — a wrapper span recorded just after the call it timed (e.g.
+    /// `gff.comm1` around `mpi.allgatherv`) nests outside it.
+    pub fn tree(&self, track: u32) -> Vec<SpanNode> {
+        let mut spans: Vec<(usize, &SpanRecord)> = self.on_track(track).enumerate().collect();
+        spans.sort_by(|(ia, a), (ib, b)| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.end
+                        .partial_cmp(&a.end)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(ib.cmp(ia))
+        });
+        let spans: Vec<&SpanRecord> = spans.into_iter().map(|(_, s)| s).collect();
+        let mut roots: Vec<SpanNode> = Vec::new();
+        let mut stack: Vec<SpanNode> = Vec::new();
+        const EPS: f64 = 1e-12;
+        for s in spans {
+            let node = SpanNode {
+                name: s.name.clone(),
+                start: s.start,
+                end: s.end,
+                children: Vec::new(),
+            };
+            // Pop finished ancestors (spans that end before this one starts).
+            while let Some(top) = stack.last() {
+                if top.end + EPS < s.start || (top.end - s.start).abs() <= EPS {
+                    let done = stack.pop().expect("non-empty");
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(done),
+                        None => roots.push(done),
+                    }
+                } else {
+                    break;
+                }
+            }
+            if stack.last().is_some() {
+                stack.push(node); // contained in the current top
+            } else {
+                stack.push(node); // new root chain
+            }
+        }
+        while let Some(done) = stack.pop() {
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(done),
+                None => roots.push(done),
+            }
+        }
+        roots
+    }
+
+    /// Render [`Trace::tree`] as indented text — one line per span, two
+    /// spaces per nesting level. Stable and diff-friendly; used by the
+    /// golden span-tree test.
+    pub fn render_tree(&self, track: u32) -> String {
+        fn walk(nodes: &[SpanNode], depth: usize, out: &mut String) {
+            for n in nodes {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push_str(&n.name);
+                out.push('\n');
+                walk(&n.children, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.tree(track), 0, &mut out);
+        out
+    }
+}
+
+/// One node of a span nesting tree (see [`Trace::tree`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Spans nested inside this one.
+    pub children: Vec<SpanNode>,
+}
+
+/// The span recorder. Cheap to clone; clones share storage. Thread-safe:
+/// every simulated rank (an OS thread) can hold a clone and record
+/// concurrently.
+///
+/// # Examples
+///
+/// ```
+/// let tracer = obs::Tracer::new();
+/// {
+///     let _outer = tracer.span("outer");
+///     let _inner = tracer.span("inner"); // drops first -> recorded first
+/// }
+/// tracer.record(0, "comm", "exchange", 1.0, 2.5); // explicit virtual time
+/// let trace = tracer.take();
+/// assert_eq!(trace.spans.len(), 3);
+/// assert_eq!(trace.span_sum(0, "exchange"), 1.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<Trace>>,
+    epoch: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(Trace::default())),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Tracer {
+    /// A fresh, empty tracer whose wall-clock epoch is "now".
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Seconds since the tracer's epoch (the wall-clock timebase of
+    /// [`Span`] guards).
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Start a wall-clock RAII span on track 0, category `"wall"`. The
+    /// interval is recorded when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        self.span_on(0, "wall", name)
+    }
+
+    /// Start a wall-clock RAII span on an explicit track and category.
+    pub fn span_on(&self, track: u32, cat: impl Into<String>, name: impl Into<String>) -> Span {
+        Span {
+            tracer: self.clone(),
+            name: name.into(),
+            cat: cat.into(),
+            track,
+            start: self.now(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Record a span with explicit (virtual-clock) times.
+    pub fn record(
+        &self,
+        track: u32,
+        cat: impl Into<String>,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        self.record_with(track, cat, name, start, end, &[]);
+    }
+
+    /// Record a span with explicit times and numeric attributes.
+    pub fn record_with(
+        &self,
+        track: u32,
+        cat: impl Into<String>,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+        args: &[(&str, f64)],
+    ) {
+        let rec = SpanRecord {
+            name: name.into(),
+            cat: cat.into(),
+            track,
+            start,
+            end: end.max(start),
+            args: args.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        };
+        self.inner.lock().expect("tracer lock").spans.push(rec);
+    }
+
+    /// Record one sample of a counter series.
+    pub fn counter(&self, track: u32, name: impl Into<String>, ts: f64, value: f64) {
+        self.inner
+            .lock()
+            .expect("tracer lock")
+            .counters
+            .push(CounterSample {
+                name: name.into(),
+                track,
+                ts,
+                value,
+            });
+    }
+
+    /// Give a track a human-readable name (Chrome `thread_name`).
+    pub fn name_track(&self, track: u32, name: impl Into<String>) {
+        self.inner
+            .lock()
+            .expect("tracer lock")
+            .track_names
+            .insert(track, name.into());
+    }
+
+    /// Clone the trace recorded so far without clearing it.
+    pub fn snapshot(&self) -> Trace {
+        self.inner.lock().expect("tracer lock").clone()
+    }
+
+    /// Drain the recorded trace, leaving the tracer empty (track names are
+    /// drained too).
+    pub fn take(&self) -> Trace {
+        std::mem::take(&mut *self.inner.lock().expect("tracer lock"))
+    }
+}
+
+/// A RAII wall-clock span: measures from creation to drop and records the
+/// interval into its [`Tracer`]. Attach numeric attributes with
+/// [`Span::arg`].
+///
+/// # Examples
+///
+/// ```
+/// let tracer = obs::Tracer::new();
+/// {
+///     let _span = tracer.span("weld").arg("contigs", 42.0);
+///     // ... timed work ...
+/// }
+/// let trace = tracer.take();
+/// assert_eq!(trace.spans[0].name, "weld");
+/// assert_eq!(trace.spans[0].arg("contigs"), Some(42.0));
+/// assert!(trace.spans[0].duration() >= 0.0);
+/// ```
+#[must_use = "a Span records its interval when dropped; binding it to _ drops it immediately"]
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    cat: String,
+    track: u32,
+    start: f64,
+    args: Vec<(String, f64)>,
+}
+
+impl Span {
+    /// Attach a numeric attribute (builder-style).
+    pub fn arg(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.args.push((name.into(), value));
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end = self.tracer.now();
+        let rec = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            cat: std::mem::take(&mut self.cat),
+            track: self.track,
+            start: self.start,
+            end: end.max(self.start),
+            args: std::mem::take(&mut self.args),
+        };
+        self.tracer
+            .inner
+            .lock()
+            .expect("tracer lock")
+            .spans
+            .push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raii_span_records_on_drop() {
+        let tr = Tracer::new();
+        {
+            let _s = tr.span("a");
+        }
+        let t = tr.take();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "a");
+        assert!(t.spans[0].end >= t.spans[0].start);
+    }
+
+    #[test]
+    fn virtual_records_are_exact() {
+        let tr = Tracer::new();
+        tr.record(3, "comm", "x", 1.0, 4.0);
+        let t = tr.snapshot();
+        assert_eq!(t.span_sum(3, "x"), 3.0);
+        assert_eq!(t.span_bounds(3, "x"), Some((1.0, 4.0)));
+        assert_eq!(t.span_sum(0, "x"), 0.0);
+    }
+
+    #[test]
+    fn end_clamped_to_start() {
+        let tr = Tracer::new();
+        tr.record(0, "c", "bad", 5.0, 2.0);
+        assert_eq!(tr.snapshot().spans[0].duration(), 0.0);
+    }
+
+    #[test]
+    fn merge_shifted_offsets_everything() {
+        let mut a = Trace::default();
+        let tr = Tracer::new();
+        tr.record(0, "x", "child", 0.5, 1.0);
+        tr.counter(0, "ram", 0.5, 7.0);
+        tr.name_track(0, "rank 0");
+        a.merge_shifted(tr.take(), 10.0, 2);
+        assert_eq!(a.spans[0].start, 10.5);
+        assert_eq!(a.spans[0].track, 2);
+        assert_eq!(a.counters[0].ts, 10.5);
+        assert_eq!(a.track_names.get(&2).map(String::as_str), Some("rank 0"));
+    }
+
+    #[test]
+    fn tree_nests_by_containment() {
+        let tr = Tracer::new();
+        tr.record(0, "s", "total", 0.0, 10.0);
+        tr.record(0, "s", "phase1", 0.0, 4.0);
+        tr.record(0, "s", "phase1.sub", 1.0, 2.0);
+        tr.record(0, "s", "phase2", 4.0, 10.0);
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "total");
+        assert_eq!(roots[0].children.len(), 2);
+        assert_eq!(roots[0].children[0].name, "phase1");
+        assert_eq!(roots[0].children[0].children[0].name, "phase1.sub");
+        assert_eq!(roots[0].children[1].name, "phase2");
+    }
+
+    #[test]
+    fn equal_intervals_nest_later_recorded_outside() {
+        // An inner call records its span first; the wrapper that timed it
+        // records second over the identical interval. The wrapper must be
+        // the parent.
+        let tr = Tracer::new();
+        tr.record(0, "comm", "mpi.allgatherv", 1.0, 2.0);
+        tr.record(0, "stage", "gff.comm1", 1.0, 2.0);
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "gff.comm1");
+        assert_eq!(roots[0].children[0].name, "mpi.allgatherv");
+    }
+
+    #[test]
+    fn render_tree_is_indented() {
+        let tr = Tracer::new();
+        tr.record(0, "s", "a", 0.0, 2.0);
+        tr.record(0, "s", "b", 0.5, 1.0);
+        let text = tr.snapshot().render_tree(0);
+        assert_eq!(text, "a\n  b\n");
+    }
+
+    #[test]
+    fn counters_and_max() {
+        let tr = Tracer::new();
+        tr.counter(0, "ram", 0.0, 5.0);
+        tr.counter(0, "ram", 1.0, 9.0);
+        tr.counter(0, "other", 2.0, 100.0);
+        let t = tr.take();
+        assert_eq!(t.max_counter("ram"), Some(9.0));
+        assert_eq!(t.max_counter("missing"), None);
+        assert_eq!(t.total_time(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let tr = Tracer::new();
+        std::thread::scope(|s| {
+            for r in 0..8u32 {
+                let tr = tr.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tr.record(r, "t", format!("s{i}"), i as f64, i as f64 + 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(tr.take().spans.len(), 800);
+    }
+}

@@ -18,6 +18,8 @@
 //! core: items are executed (and timed) once, then the makespan of the
 //! configured `(threads, schedule)` is replayed exactly.
 
+#![warn(missing_docs)]
+
 pub mod makespan;
 pub mod pool;
 pub mod schedule;

@@ -43,6 +43,46 @@ impl LoopSim {
         let max = self.thread_busy.iter().cloned().fold(0.0, f64::max);
         max / mean
     }
+
+    /// Record per-thread busy/idle spans for this replayed loop into
+    /// `tracer`. The loop is placed at virtual time `t0`; thread `t` gets a
+    /// `{name}.busy` span of its busy time followed by a `{name}.idle` span
+    /// until the loop's makespan, both `cat:"omp"` on track
+    /// `base_track + t` (callers typically pass
+    /// [`obs::THREAD_TRACK_BASE`], keeping thread lanes clear of rank
+    /// lanes).
+    pub fn record_spans(&self, tracer: &obs::Tracer, t0: f64, base_track: u32, name: &str) {
+        for (t, &busy) in self.thread_busy.iter().enumerate() {
+            let track = base_track + t as u32;
+            if busy > 0.0 {
+                tracer.record(track, "omp", format!("{name}.busy"), t0, t0 + busy);
+            }
+            if self.makespan > busy {
+                tracer.record(
+                    track,
+                    "omp",
+                    format!("{name}.idle"),
+                    t0 + busy,
+                    t0 + self.makespan,
+                );
+            }
+        }
+    }
+
+    /// Record this loop's summary into a [`obs::MetricsRegistry`]:
+    /// `{prefix}.chunks` (counter), `{prefix}.efficiency` and
+    /// `{prefix}.imbalance` (gauges).
+    pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        registry
+            .counter(format!("{prefix}.chunks"))
+            .add(self.chunks as u64);
+        registry
+            .gauge(format!("{prefix}.efficiency"))
+            .set(self.efficiency());
+        registry
+            .gauge(format!("{prefix}.imbalance"))
+            .set(self.imbalance());
+    }
 }
 
 fn chunk_cost(costs: &[f64], c: Chunk) -> f64 {
@@ -159,7 +199,7 @@ mod tests {
         // One huge item at the front: static-block puts it with a full block
         // of other work; dynamic isolates it.
         let mut costs = vec![100.0];
-        costs.extend(std::iter::repeat(1.0).take(99));
+        costs.extend(std::iter::repeat_n(1.0, 99));
         let stat = simulate_loop(&costs, 4, Schedule::Static { chunk: None });
         let dyn_ = simulate_loop(&costs, 4, Schedule::Dynamic { chunk: 1 });
         assert!(dyn_.makespan < stat.makespan);
@@ -173,6 +213,43 @@ mod tests {
         assert_eq!(sim.chunks, 0);
         assert_eq!(sim.efficiency(), 1.0);
         assert_eq!(sim.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn record_spans_cover_makespan() {
+        let costs = vec![3.0, 1.0, 1.0, 1.0];
+        let sim = simulate_loop(&costs, 2, Schedule::Dynamic { chunk: 1 });
+        let tracer = obs::Tracer::new();
+        sim.record_spans(&tracer, 10.0, obs::THREAD_TRACK_BASE, "gff.loop1");
+        let trace = tracer.take();
+        for t in 0..2u32 {
+            let track = obs::THREAD_TRACK_BASE + t;
+            let busy = trace.span_sum(track, "gff.loop1.busy");
+            let idle = trace.span_sum(track, "gff.loop1.idle");
+            assert!(
+                (busy + idle - sim.makespan).abs() < 1e-12,
+                "thread lane spans tile the makespan"
+            );
+            assert!((busy - sim.thread_busy[t as usize]).abs() < 1e-12);
+        }
+        // spans start at the requested offset
+        let first = trace
+            .spans
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(first, 10.0);
+    }
+
+    #[test]
+    fn record_metrics_summary() {
+        let sim = simulate_loop(&[1.0; 8], 4, Schedule::Dynamic { chunk: 2 });
+        let reg = obs::MetricsRegistry::new();
+        sim.record_metrics(&reg, "loop1");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("loop1.chunks"), Some(4));
+        assert_eq!(snap.gauge("loop1.efficiency"), Some(1.0));
+        assert_eq!(snap.gauge("loop1.imbalance"), Some(1.0));
     }
 
     #[test]

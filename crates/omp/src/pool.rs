@@ -10,6 +10,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// A simple reusable description of a thread team.
+///
+/// # Examples
+///
+/// ```
+/// use omp::Pool;
+///
+/// let team = Pool::new(4);
+/// let squares = team.map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]); // input order is preserved
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     /// Number of worker threads the team uses.

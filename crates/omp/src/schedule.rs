@@ -10,12 +10,21 @@ pub enum Schedule {
     /// `schedule(static[, chunk])`: chunks are assigned round-robin to
     /// threads *before* execution. `chunk = None` means one contiguous block
     /// per thread.
-    Static { chunk: Option<usize> },
+    Static {
+        /// Chunk size; `None` means one contiguous block per thread.
+        chunk: Option<usize>,
+    },
     /// `schedule(dynamic, chunk)`: threads grab the next chunk when idle.
-    Dynamic { chunk: usize },
+    Dynamic {
+        /// Fixed chunk size each idle thread grabs.
+        chunk: usize,
+    },
     /// `schedule(guided, min_chunk)`: like dynamic but chunk size starts at
     /// `remaining / threads` and decays geometrically to `min_chunk`.
-    Guided { min_chunk: usize },
+    Guided {
+        /// Floor the geometrically decaying chunk size never drops below.
+        min_chunk: usize,
+    },
 }
 
 impl Schedule {

@@ -8,9 +8,11 @@
 //! Reads FASTA (or FASTQ; detected by the first byte), runs
 //! Jellyfish → Inchworm → Chrysalis → Butterfly, and writes into `--out`:
 //! `inchworm.fasta`, `components.txt`, `read_assignments.txt`,
-//! `transcripts.fasta` and `collectl.txt`. `--nprocs` is the paper's
-//! extension: with `N > 1` Chrysalis runs in the hybrid MPI+OpenMP layout
-//! over `N` simulated ranks.
+//! `transcripts.fasta`, `collectl.txt` (text stage table), `trace.json`
+//! (Chrome `trace_event` timeline — open in `chrome://tracing` / Perfetto)
+//! and `metrics.json` (counter/gauge/histogram snapshot). `--nprocs` is the
+//! paper's extension: with `N > 1` Chrysalis runs in the hybrid MPI+OpenMP
+//! layout over `N` simulated ranks.
 //!
 //! `--simulate tiny:7` generates a synthetic dataset instead of reading
 //! files (handy for smoke tests; see `simulate::datasets`).
@@ -181,6 +183,16 @@ fn run() -> Result<(), String> {
             render_trace(&out.trace),
             render_bars(&out.trace, 50)
         ),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(
+        args.out.join("trace.json"),
+        obs::export::chrome_trace(&out.trace),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(
+        args.out.join("metrics.json"),
+        obs::export::metrics_json(&out.metrics),
     )
     .map_err(|e| e.to_string())?;
 

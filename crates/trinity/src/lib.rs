@@ -3,12 +3,13 @@
 //! Equivalent of `Trinity.pl`: runs Jellyfish → Inchworm → Chrysalis →
 //! Butterfly over a read set, in the original single-node layout or with
 //! the paper's hybrid MPI+OpenMP Chrysalis (`--nprocs`, §III-C's extended
-//! command line). [`collectl`] records the per-stage runtime/RAM trace that
-//! Figs. 2 and 11 plot; [`report`] renders it.
+//! command line). [`pipeline`] records the per-stage runtime/RAM timeline
+//! that Figs. 2 and 11 plot into an [`obs::Trace`] (plus an
+//! [`obs::MetricsSnapshot`] of table/comm health); [`report`] renders the
+//! collectl-style text views and `obs::export` serialises the same trace
+//! to JSON / Chrome `trace_event` files.
 
-pub mod collectl;
 pub mod pipeline;
 pub mod report;
 
-pub use collectl::{CollectlTrace, StageReport};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineMode, PipelineOutput};

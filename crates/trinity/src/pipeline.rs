@@ -1,4 +1,12 @@
 //! The end-to-end Trinity pipeline.
+//!
+//! Observability: the pipeline records into one [`obs::Tracer`] — track 0
+//! carries collectl-style `cat:"stage"` spans (with a modelled-RAM `"ram"`
+//! arg and counter series, Figs. 2/11), per-rank Chrysalis sub-traces are
+//! spliced onto tracks `1 + rank`, and OpenMP busy/idle lanes sit at
+//! [`obs::THREAD_TRACK_BASE`]` + thread`. Table/counter health goes into an
+//! [`obs::MetricsRegistry`]; both land in [`PipelineOutput`] ready for the
+//! JSON / Chrome-trace exporters in [`obs::export`].
 
 use std::sync::Arc;
 
@@ -19,7 +27,79 @@ use mpisim::{run_cluster, NetModel};
 use omp::makespan::simulate_loop;
 use omp::pool::parallel_map_timed;
 
-use crate::collectl::{ram, CollectlTrace};
+/// Rough resident-set model for the pipeline's data structures. The
+/// coefficients are hash-map-overhead multipliers, not exact science —
+/// the *shape* (Jellyfish/Inchworm dominate memory, Chrysalis dominates
+/// time) is what Figs. 2/11 show.
+pub mod ram {
+    /// Jellyfish: distinct k-mers × (key + count + table overhead).
+    pub fn jellyfish(distinct_kmers: usize) -> u64 {
+        (distinct_kmers as u64) * 48
+    }
+
+    /// Inchworm: the dictionary (sorted vec + hash) plus contig text.
+    pub fn inchworm(distinct_kmers: usize, contig_bytes: usize) -> u64 {
+        (distinct_kmers as u64) * 64 + contig_bytes as u64
+    }
+
+    /// Bowtie: FM-index ≈ 6 bytes per reference base (SA + BWT + Occ)
+    /// plus the read stream buffer.
+    pub fn bowtie(ref_bases: usize, read_buffer: usize) -> u64 {
+        (ref_bases as u64) * 6 + read_buffer as u64
+    }
+
+    /// GraphFromFasta: contigs + k-mer map + welds.
+    pub fn graph_from_fasta(contig_bytes: usize, kmer_entries: usize, weld_bytes: usize) -> u64 {
+        contig_bytes as u64 + (kmer_entries as u64) * 56 + weld_bytes as u64
+    }
+
+    /// ReadsToTranscripts: k-mer→component table + one chunk of reads.
+    pub fn reads_to_transcripts(kmer_entries: usize, chunk_bytes: usize) -> u64 {
+        (kmer_entries as u64) * 40 + chunk_bytes as u64
+    }
+
+    /// Butterfly: graph nodes/edges per component (peak over components).
+    pub fn butterfly(max_component_nodes: usize) -> u64 {
+        (max_component_nodes as u64) * 96
+    }
+}
+
+/// Collectl-style stage logger: each stage becomes a `cat:"stage"` span on
+/// track 0 starting where the previous ended, carrying the modelled RAM as
+/// a span arg and as a step in the `"ram"` counter series.
+struct StageLog {
+    obs: obs::Tracer,
+    cursor: f64,
+}
+
+impl StageLog {
+    fn new() -> Self {
+        let obs = obs::Tracer::new();
+        obs.name_track(0, "pipeline");
+        StageLog { obs, cursor: 0.0 }
+    }
+
+    /// Append a stage; returns its start time (for splicing sub-traces).
+    fn push(&mut self, name: &str, duration: f64, peak_ram: u64) -> f64 {
+        let start = self.cursor;
+        self.cursor += duration.max(0.0);
+        self.obs.record_with(
+            0,
+            "stage",
+            name,
+            start,
+            self.cursor,
+            &[("ram", peak_ram as f64)],
+        );
+        self.obs.counter(0, "ram", start, peak_ram as f64);
+        self.obs.counter(0, "ram", self.cursor, peak_ram as f64);
+        start
+    }
+}
+
+/// Track offset for per-rank sub-traces spliced into the pipeline trace:
+/// rank `r`'s spans land on track `RANK_TRACK_BASE + r`.
+pub const RANK_TRACK_BASE: u32 = 1;
 
 /// Serial (single-node OpenMP) or hybrid (MPI+OpenMP) execution.
 #[derive(Debug, Clone, Copy)]
@@ -112,8 +192,16 @@ pub struct PipelineOutput {
     pub assignments: Vec<(u32, u32)>,
     /// Reconstructed transcripts.
     pub transcripts: Vec<Record>,
-    /// Stage trace (virtual time + modelled RAM), Figs. 2/11.
-    pub trace: CollectlTrace,
+    /// Unified span trace: collectl-style stage spans + RAM counter on
+    /// track 0, per-rank Chrysalis sub-traces on tracks
+    /// [`RANK_TRACK_BASE`]` + rank`, OpenMP lanes at
+    /// [`obs::THREAD_TRACK_BASE`]` + thread`. Export with
+    /// [`obs::export::chrome_trace`] / [`obs::export::trace_json`].
+    pub trace: obs::Trace,
+    /// Table/counter health recorded during the run (k-mer table load
+    /// factors, probe-length histograms, weld/assignment counts, MPI
+    /// bytes). Export with [`obs::export::metrics_json`].
+    pub metrics: obs::MetricsSnapshot,
     /// Per-rank GraphFromFasta timings (one entry in serial mode).
     pub gff_timings: Vec<GffTimings>,
     /// Per-rank ReadsToTranscripts timings.
@@ -126,9 +214,30 @@ fn max_time<T>(outs: &[mpisim::RankOutput<T>]) -> f64 {
     outs.iter().map(|o| o.time).fold(0.0, f64::max)
 }
 
+/// Queue each rank's sub-trace for splicing at the stage's start time and
+/// fold its communication counters into the shared registry.
+fn record_cluster<T>(
+    metrics: &obs::MetricsRegistry,
+    sub_traces: &mut Vec<(f64, obs::Trace)>,
+    start: f64,
+    outs: &[mpisim::RankOutput<T>],
+) {
+    for o in outs {
+        metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
+        metrics.counter("comm.collectives").add(o.stats.collectives);
+        if !o.trace.is_empty() {
+            sub_traces.push((start, o.trace.clone()));
+        }
+    }
+}
+
 /// Run the pipeline over `reads`.
 pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
-    let mut trace = CollectlTrace::default();
+    let mut log = StageLog::new();
+    let metrics = obs::MetricsRegistry::new();
+    // Per-rank sub-traces, collected as (stage start, trace) and spliced
+    // into the pipeline timeline at the end.
+    let mut sub_traces: Vec<(f64, obs::Trace)> = Vec::new();
     let k = cfg.chrysalis.k;
 
     // ---- Jellyfish ----
@@ -147,7 +256,8 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
             },
         )
     });
-    let count_time = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule).makespan;
+    let count_sim = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule);
+    let count_time = count_sim.makespan;
     let t0 = std::time::Instant::now();
     let mut counts = kcount::counter::KmerCounts::empty(k);
     for t in tables {
@@ -158,11 +268,14 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     counts.retain_min(cfg.min_kmer_count.max(1));
     let merge_time = t0.elapsed().as_secs_f64();
     let distinct = counts.len();
-    trace.push(
+    counts.record_metrics(&metrics, "jellyfish");
+    count_sim.record_metrics(&metrics, "jellyfish.loop");
+    let start = log.push(
         "Jellyfish",
         count_time + merge_time,
         ram::jellyfish(distinct),
     );
+    count_sim.record_spans(&log.obs, start, obs::THREAD_TRACK_BASE, "jellyfish");
 
     // ---- Inchworm ----
     let t0 = std::time::Instant::now();
@@ -170,7 +283,7 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     let contig_list = assemble(&dict, cfg.inchworm);
     let contigs: Vec<Record> = contig_list.iter().map(|c| c.to_record()).collect();
     let contig_bytes: usize = contigs.iter().map(|c| c.seq.len()).sum();
-    trace.push(
+    log.push(
         "Inchworm",
         t0.elapsed().as_secs_f64(),
         ram::inchworm(distinct, contig_bytes),
@@ -194,11 +307,12 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     });
     let bowtie_out: &BowtieMpiOutput = &bowtie_outs[0].value;
     let read_buffer: usize = reads.iter().map(|r| r.seq.len()).sum();
-    trace.push(
+    let start = log.push(
         "Bowtie",
         max_time(&bowtie_outs),
         ram::bowtie(contig_bytes.div_ceil(ranks), read_buffer),
     );
+    record_cluster(&metrics, &mut sub_traces, start, &bowtie_outs);
     let bowtie_timings: Vec<BowtieTimings> = bowtie_outs.iter().map(|o| o.value.timings).collect();
     let sam = bowtie_out.sam.clone();
 
@@ -208,7 +322,8 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         counts,
         cfg.chrysalis,
     ));
-    let (gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) = if ranks == 1 {
+    gff_shared.kmap.record_metrics(&metrics, "gff.kmap");
+    let (mut gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) = if ranks == 1 {
         let out = gff_shared_memory(&gff_shared);
         let t = out.timings;
         let total = t.total;
@@ -218,18 +333,33 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         let outs = run_cluster(ranks, net, move |comm| gff_hybrid(comm, &sh));
         let timings: Vec<GffTimings> = outs.iter().map(|o| o.value.timings).collect();
         let time = max_time(&outs);
-        (
-            outs.into_iter().next().expect("rank 0").value,
-            timings,
-            time,
-        )
+        let mut first = None;
+        let mut ranked = Vec::new();
+        for o in outs {
+            metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
+            metrics.counter("comm.collectives").add(o.stats.collectives);
+            ranked.push(o.trace);
+            if first.is_none() {
+                first = Some(o.value);
+            }
+        }
+        let mut out = first.expect("rank 0");
+        // Stash the merged per-rank spans in the stage output's trace slot
+        // so the splice below handles serial and hybrid uniformly.
+        for t in ranked {
+            out.trace.merge_shifted(t, 0.0, 0);
+        }
+        (out, timings, time)
     };
     let weld_bytes: usize = gff_out.welds.iter().map(Vec::len).sum();
-    trace.push(
+    metrics.counter("gff.welds").add(gff_out.welds.len() as u64);
+    metrics.counter("gff.pairs").add(gff_out.pairs.len() as u64);
+    let start = log.push(
         "GraphFromFasta",
         gff_time,
         ram::graph_from_fasta(contig_bytes, gff_shared.kmap.len(), weld_bytes),
     );
+    sub_traces.push((start, std::mem::take(&mut gff_out.trace)));
 
     // ---- Chrysalis: scaffolding (combine Bowtie links with welds) ----
     let t0 = std::time::Instant::now();
@@ -241,7 +371,10 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     all_pairs.sort_unstable();
     all_pairs.dedup();
     let (_, components) = cluster(contigs_arc.len(), &all_pairs);
-    trace.push(
+    metrics
+        .gauge("pipeline.components")
+        .set(components.len() as f64);
+    log.push(
         "QuantifyGraph",
         t0.elapsed().as_secs_f64(),
         ram::graph_from_fasta(contig_bytes, 0, weld_bytes),
@@ -254,7 +387,10 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         &components,
         cfg.chrysalis,
     ));
-    let (rtt_out, rtt_timings, rtt_time): (RttOutput, Vec<RttTimings>, f64) = if ranks == 1 {
+    rtt_shared
+        .kmer_to_component
+        .record_metrics(&metrics, "rtt.kmer_table");
+    let (mut rtt_out, rtt_timings, rtt_time): (RttOutput, Vec<RttTimings>, f64) = if ranks == 1 {
         let out = rtt_shared_memory(&rtt_shared);
         let t = out.timings;
         let total = t.total;
@@ -264,22 +400,36 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         let outs = run_cluster(ranks, net, move |comm| rtt_hybrid(comm, &sh));
         let timings: Vec<RttTimings> = outs.iter().map(|o| o.value.timings).collect();
         let time = max_time(&outs);
-        (
-            outs.into_iter().next().expect("rank 0").value,
-            timings,
-            time,
-        )
+        let mut first = None;
+        let mut ranked = Vec::new();
+        for o in outs {
+            metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
+            metrics.counter("comm.collectives").add(o.stats.collectives);
+            ranked.push(o.trace);
+            if first.is_none() {
+                first = Some(o.value);
+            }
+        }
+        let mut out = first.expect("rank 0");
+        for t in ranked {
+            out.trace.merge_shifted(t, 0.0, 0);
+        }
+        (out, timings, time)
     };
+    metrics
+        .counter("rtt.assignments")
+        .add(rtt_out.assignments.len() as u64);
     let chunk_bytes: usize = reads
         .iter()
         .take(cfg.chrysalis.max_mem_reads)
         .map(|r| r.seq.len())
         .sum();
-    trace.push(
+    let start = log.push(
         "ReadsToTranscripts",
         rtt_time,
         ram::reads_to_transcripts(rtt_shared.kmer_to_component.len(), chunk_bytes),
     );
+    sub_traces.push((start, std::mem::take(&mut rtt_out.trace)));
 
     // ---- Butterfly ----
     let mut comp_inputs: Vec<ComponentInput> = components
@@ -302,22 +452,35 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     let (transcript_lists, costs) = parallel_map_timed(&comp_inputs, |input| {
         reconstruct_component(input, cfg.reconstruction)
     });
-    let butterfly_time =
-        simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule).makespan;
+    let butterfly_sim = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule);
     let transcripts: Vec<Record> = transcript_lists.into_iter().flatten().collect();
     let max_nodes = comp_inputs
         .iter()
         .map(|c| c.contigs.iter().map(Vec::len).sum::<usize>())
         .max()
         .unwrap_or(0);
-    trace.push("Butterfly", butterfly_time, ram::butterfly(max_nodes));
+    butterfly_sim.record_metrics(&metrics, "butterfly.loop");
+    metrics
+        .counter("butterfly.transcripts")
+        .add(transcripts.len() as u64);
+    let start = log.push(
+        "Butterfly",
+        butterfly_sim.makespan,
+        ram::butterfly(max_nodes),
+    );
+    butterfly_sim.record_spans(&log.obs, start, obs::THREAD_TRACK_BASE, "butterfly");
 
+    let mut trace = log.obs.take();
+    for (dt, sub) in sub_traces {
+        trace.merge_shifted(sub, dt, RANK_TRACK_BASE);
+    }
     PipelineOutput {
         contigs: Arc::try_unwrap(contigs_arc).unwrap_or_else(|a| a.as_ref().clone()),
         components,
         assignments: rtt_out.assignments,
         transcripts,
         trace,
+        metrics: metrics.snapshot(),
         gff_timings,
         rtt_timings,
         bowtie_timings,
@@ -340,9 +503,28 @@ mod tests {
         assert!(!out.contigs.is_empty(), "contigs assembled");
         assert!(!out.transcripts.is_empty(), "transcripts reconstructed");
         assert!(!out.assignments.is_empty(), "reads assigned");
-        assert_eq!(out.trace.stages.len(), 7);
+        let stages: Vec<&obs::SpanRecord> = out
+            .trace
+            .with_cat("stage")
+            .into_iter()
+            .filter(|s| s.track == 0)
+            .collect();
+        assert_eq!(stages.len(), 7, "one stage span per pipeline stage");
         assert!(out.trace.total_time() > 0.0);
+        assert!(out.trace.max_counter("ram").unwrap_or(0.0) > 0.0);
         assert_eq!(out.gff_timings.len(), 1);
+        // Serial Chrysalis sub-traces are spliced in: the GFF stage timeline
+        // lands on track RANK_TRACK_BASE at the stage's start offset.
+        let gff_stage = stages
+            .iter()
+            .find(|s| s.name == "GraphFromFasta")
+            .expect("GraphFromFasta stage span");
+        let (sub_start, sub_end) = out
+            .trace
+            .span_bounds(RANK_TRACK_BASE, "gff.total")
+            .expect("spliced gff.total span");
+        assert!((sub_start - gff_stage.start).abs() < 1e-9);
+        assert!(sub_end <= gff_stage.end + 1e-9);
     }
 
     #[test]
@@ -395,20 +577,21 @@ mod tests {
         let out = run_pipeline(&reads, &PipelineConfig::small(12));
         let chrysalis_time: f64 = out
             .trace
-            .stages
-            .iter()
+            .with_cat("stage")
+            .into_iter()
             .filter(|s| {
-                [
-                    "Bowtie",
-                    "GraphFromFasta",
-                    "QuantifyGraph",
-                    "ReadsToTranscripts",
-                ]
-                .contains(&s.name.as_str())
+                s.track == 0
+                    && [
+                        "Bowtie",
+                        "GraphFromFasta",
+                        "QuantifyGraph",
+                        "ReadsToTranscripts",
+                    ]
+                    .contains(&s.name.as_str())
             })
-            .map(|s| s.duration())
+            .map(|s| s.end - s.start)
             .sum();
-        let jelly_time = out.trace.stages[0].duration();
+        let jelly_time = out.trace.span_sum(0, "Jellyfish");
         assert!(
             chrysalis_time > jelly_time,
             "Chrysalis ({chrysalis_time}) should dominate Jellyfish ({jelly_time})"

@@ -1,22 +1,41 @@
 //! Text rendering of pipeline traces and stage statistics.
+//!
+//! Both renderers read the pipeline-level `cat:"stage"` spans on track 0 of
+//! an [`obs::Trace`] (spliced rank sub-traces on higher tracks carry their
+//! own stage spans like `gff.total` and are deliberately ignored here).
 
-use crate::collectl::CollectlTrace;
+use obs::{SpanRecord, Trace};
+
+/// Pipeline stage spans: `cat == "stage"` on track 0, in timeline order.
+fn stage_spans(trace: &Trace) -> Vec<&SpanRecord> {
+    let mut spans: Vec<&SpanRecord> = trace
+        .with_cat("stage")
+        .into_iter()
+        .filter(|s| s.track == 0)
+        .collect();
+    spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+    spans
+}
 
 /// Render a trace as an aligned text table (the textual Fig. 2 / Fig. 11).
-pub fn render_trace(trace: &CollectlTrace) -> String {
+///
+/// The RAM column comes from each stage span's `"ram"` arg (bytes, rendered
+/// as MB); the TOTAL row shows the timeline extent and the peak of the
+/// `"ram"` counter series.
+pub fn render_trace(trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>12} {:>12} {:>12} {:>10}\n",
         "stage", "start (s)", "end (s)", "dur (s)", "RAM (MB)"
     ));
-    for s in &trace.stages {
+    for s in stage_spans(trace) {
         out.push_str(&format!(
             "{:<20} {:>12.3} {:>12.3} {:>12.3} {:>10.1}\n",
             s.name,
             s.start,
             s.end,
-            s.duration(),
-            s.peak_ram as f64 / 1e6
+            s.end - s.start,
+            s.arg("ram").unwrap_or(0.0) / 1e6
         ));
     }
     out.push_str(&format!(
@@ -25,23 +44,24 @@ pub fn render_trace(trace: &CollectlTrace) -> String {
         "",
         "",
         trace.total_time(),
-        trace.peak_ram() as f64 / 1e6
+        trace.max_counter("ram").unwrap_or(0.0) / 1e6
     ));
     out
 }
 
 /// Render an ASCII bar chart of stage durations (quick terminal look at
 /// where the time goes).
-pub fn render_bars(trace: &CollectlTrace, width: usize) -> String {
+pub fn render_bars(trace: &Trace, width: usize) -> String {
     let total = trace.total_time().max(f64::MIN_POSITIVE);
     let mut out = String::new();
-    for s in &trace.stages {
-        let bar = ((s.duration() / total) * width as f64).round() as usize;
+    for s in stage_spans(trace) {
+        let dur = s.end - s.start;
+        let bar = ((dur / total) * width as f64).round() as usize;
         out.push_str(&format!(
             "{:<20} |{:<width$}| {:6.1}%\n",
             s.name,
             "#".repeat(bar.min(width)),
-            100.0 * s.duration() / total,
+            100.0 * dur / total,
             width = width
         ));
     }
@@ -52,11 +72,15 @@ pub fn render_bars(trace: &CollectlTrace, width: usize) -> String {
 mod tests {
     use super::*;
 
-    fn trace() -> CollectlTrace {
-        let mut t = CollectlTrace::default();
-        t.push("Jellyfish", 1.0, 4_000_000);
-        t.push("Chrysalis", 9.0, 2_000_000);
-        t
+    fn trace() -> Trace {
+        let obs = obs::Tracer::new();
+        obs.record_with(0, "stage", "Jellyfish", 0.0, 1.0, &[("ram", 4e6)]);
+        obs.record_with(0, "stage", "Chrysalis", 1.0, 10.0, &[("ram", 2e6)]);
+        obs.counter(0, "ram", 0.5, 4e6);
+        obs.counter(0, "ram", 5.0, 2e6);
+        // A rank sub-trace stage span on track 1 must not show in the table.
+        obs.record(1, "stage", "gff.total", 1.0, 9.0);
+        obs.take()
     }
 
     #[test]
@@ -66,6 +90,8 @@ mod tests {
         assert!(s.contains("Chrysalis"));
         assert!(s.contains("TOTAL"));
         assert!(s.contains("10.000"));
+        assert!(s.contains("4.0")); // RAM MB from the span arg
+        assert!(!s.contains("gff.total"), "rank sub-spans excluded");
     }
 
     #[test]
@@ -80,7 +106,7 @@ mod tests {
 
     #[test]
     fn empty_trace_renders() {
-        let t = CollectlTrace::default();
+        let t = Trace::default();
         assert!(render_trace(&t).contains("TOTAL"));
         assert_eq!(render_bars(&t, 10), "");
     }

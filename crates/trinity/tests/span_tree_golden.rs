@@ -1,0 +1,59 @@
+//! Golden-file test of the span tree a small end-to-end pipeline run
+//! produces: the track-0 stage timeline plus the Chrysalis sub-traces
+//! spliced onto track `RANK_TRACK_BASE`.
+//!
+//! The golden file (`tests/golden/pipeline_span_tree.txt`) pins the span
+//! *names and nesting*, not durations. Repeated lines (per-chunk
+//! `rtt.io` / `rtt.loop` spans — their count scales with the read set)
+//! are collapsed to their first occurrence before comparison.
+
+use simulate::datasets::{Dataset, DatasetPreset};
+use trinity::pipeline::{run_pipeline, PipelineConfig, RANK_TRACK_BASE};
+
+const GOLDEN: &str = include_str!("golden/pipeline_span_tree.txt");
+
+/// Keep only the first occurrence of each (indent, name) line.
+fn collapse(rendered: &str) -> String {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = String::new();
+    for line in rendered.lines() {
+        if seen.insert(line) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn serial_pipeline_span_tree_matches_golden() {
+    let reads = Dataset::generate(DatasetPreset::Tiny, 11).all_reads();
+    let out = run_pipeline(&reads, &PipelineConfig::small(12));
+
+    // Track 0: the seven collectl-style stage spans, in timeline order.
+    let mut actual = out.trace.render_tree(0);
+
+    // Track RANK_TRACK_BASE carries the spliced Chrysalis sub-traces;
+    // keep only GraphFromFasta / ReadsToTranscripts spans (Bowtie's MPI
+    // collective spans on the same track depend on the rank layout).
+    let sub = obs::Trace {
+        spans: out
+            .trace
+            .spans
+            .iter()
+            .filter(|s| {
+                s.track == RANK_TRACK_BASE
+                    && (s.name.starts_with("gff.") || s.name.starts_with("rtt."))
+            })
+            .cloned()
+            .collect(),
+        ..Default::default()
+    };
+    actual.push_str(&sub.render_tree(RANK_TRACK_BASE));
+
+    let actual = collapse(&actual);
+    assert_eq!(
+        actual, GOLDEN,
+        "span tree drifted from golden file;\n--- actual ---\n{actual}\n--- golden ---\n{GOLDEN}"
+    );
+}

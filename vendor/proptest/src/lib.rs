@@ -29,7 +29,7 @@ pub mod collection {
     use super::StdRng;
     use rand::RngExt;
 
-    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    /// Size specification for [`vec()`]: a fixed size or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
