@@ -1,15 +1,17 @@
 //! Regenerates Fig. 2: collectl trace of the original single-node Trinity.
 //!
 //! Usage: `cargo run --release -p bench --bin fig02_baseline_trace
-//! [--scale X] [--seed N] [--trace-out DIR]`
+//! [--scale X] [--seed N] [--trace-out DIR] [--flame-out DIR]`
 //!
 //! Besides the text figure on stdout, writes the run's span timeline as a
 //! Chrome `trace_event` file (`fig02_trace.json`) for `chrome://tracing` /
-//! Perfetto.
+//! Perfetto, plus flamegraph artifacts (`fig02_flame.txt` collapsed
+//! stacks, `fig02_flame.svg`).
 
 fn main() {
     let cli = bench::Cli::parse(std::env::args().skip(1));
     let trace = bench::fig02_baseline::run(cli.seed, cli.scale);
     print!("{}", bench::fig02_baseline::render(&trace));
     bench::write_chrome_trace(&cli, "fig02_trace.json", &trace);
+    bench::write_flame(&cli, "fig02_flame", &trace);
 }

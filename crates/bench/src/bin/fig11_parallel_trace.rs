@@ -3,7 +3,9 @@
 //!
 //! Besides the text figure on stdout, writes both runs' span timelines as
 //! Chrome `trace_event` files (`fig11_trace.json`, `fig11_baseline_trace.json`)
-//! for `chrome://tracing` / Perfetto.
+//! for `chrome://tracing` / Perfetto, plus flamegraph artifacts
+//! (`fig11_flame.txt`/`.svg`, `fig11_baseline_flame.txt`/`.svg`;
+//! `--flame-out DIR` redirects them).
 
 fn main() {
     let cli = bench::Cli::parse(std::env::args().skip(1));
@@ -15,4 +17,6 @@ fn main() {
     );
     bench::write_chrome_trace(&cli, "fig11_baseline_trace.json", &baseline);
     bench::write_chrome_trace(&cli, "fig11_trace.json", &parallel);
+    bench::write_flame(&cli, "fig11_baseline_flame", &baseline);
+    bench::write_flame(&cli, "fig11_flame", &parallel);
 }

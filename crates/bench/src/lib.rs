@@ -35,6 +35,9 @@ pub struct Cli {
     /// Where `--trace-out` asks trace artifacts to go (a directory);
     /// `None` means the default `target/figs`.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Where `--flame-out` asks flamegraph artifacts (collapsed-stack
+    /// `.txt` + `.svg`) to go; `None` means the default `target/figs`.
+    pub flame_out: Option<std::path::PathBuf>,
 }
 
 impl Default for Cli {
@@ -43,6 +46,7 @@ impl Default for Cli {
             scale: 1.0,
             seed: 42,
             trace_out: None,
+            flame_out: None,
         }
     }
 }
@@ -66,6 +70,32 @@ pub fn write_chrome_trace(cli: &Cli, name: &str, trace: &obs::Trace) {
     }
 }
 
+/// Write a trace's flamegraph artifacts — `<stem>.txt` (collapsed stacks,
+/// merged across lanes, for speedscope / inferno) and `<stem>.svg` (the
+/// self-contained renderer) — into the `--flame-out` directory (default
+/// `target/figs`).
+pub fn write_flame(cli: &Cli, stem: &str, trace: &obs::Trace) {
+    let dir = cli
+        .flame_out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("target/figs"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let folds = obs::flame::collapsed_merged(trace);
+    for (name, content) in [
+        (format!("{stem}.txt"), obs::flame::to_text(&folds)),
+        (format!("{stem}.svg"), obs::flame::svg(&folds, stem)),
+    ] {
+        let path = dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
 impl Cli {
     /// Parse from `std::env::args`-style strings; unknown flags are ignored.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Cli {
@@ -86,6 +116,11 @@ impl Cli {
                 "--trace-out" => {
                     if let Some(v) = it.next() {
                         cli.trace_out = Some(std::path::PathBuf::from(v));
+                    }
+                }
+                "--flame-out" => {
+                    if let Some(v) = it.next() {
+                        cli.flame_out = Some(std::path::PathBuf::from(v));
                     }
                 }
                 _ => {}

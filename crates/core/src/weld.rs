@@ -184,12 +184,14 @@ impl KmerContigMap {
     /// Record the seed index's table health (entries, capacity, load
     /// factor, probe-length histogram — see
     /// [`PackedKmerTable::record_metrics`]) plus a `{prefix}.occurrences`
-    /// counter (total seed occurrences across contigs) into `registry`.
+    /// gauge (total seed occurrences across contigs — a snapshot of the
+    /// built index, so re-recording overwrites rather than double-counts)
+    /// into `registry`.
     pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
         self.index.record_metrics(registry, prefix);
         registry
-            .counter(format!("{prefix}.occurrences"))
-            .add(self.pool.iter().map(Vec::len).sum::<usize>() as u64);
+            .gauge(format!("{prefix}.occurrences"))
+            .set(self.pool.iter().map(Vec::len).sum::<usize>() as f64);
     }
 }
 
@@ -434,11 +436,13 @@ mod tests {
         let kmap = KmerContigMap::build(&contigs, K);
         let reg = obs::MetricsRegistry::new();
         kmap.record_metrics(&reg, "gff.kmap");
+        // Snapshot gauges: recording twice must not double anything.
+        kmap.record_metrics(&reg, "gff.kmap");
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("gff.kmap.entries"), Some(kmap.len() as u64));
+        assert_eq!(snap.gauge("gff.kmap.entries"), Some(kmap.len() as f64));
         // Both contigs contribute every window; the shared seed occurs twice.
         let windows: usize = contigs.iter().map(|c| c.seq.len() - (K - 1) + 1).sum();
-        assert_eq!(snap.counter("gff.kmap.occurrences"), Some(windows as u64));
+        assert_eq!(snap.gauge("gff.kmap.occurrences"), Some(windows as f64));
     }
 
     #[test]

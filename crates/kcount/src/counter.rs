@@ -125,12 +125,15 @@ impl KmerCounts {
 
     /// Record the underlying table's health (entries, capacity, load
     /// factor, probe-length histogram) plus `{prefix}.total_count` into
-    /// `registry`. See [`PackedKmerTable::record_metrics`].
+    /// `registry`. See [`PackedKmerTable::record_metrics`]. Everything but
+    /// the probe-length histogram is a snapshot gauge — `total_count`
+    /// describes the table's current state, so re-recording (per-batch
+    /// health checks) overwrites instead of double-counting.
     pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
         self.counts.record_metrics(registry, prefix);
         registry
-            .counter(format!("{prefix}.total_count"))
-            .add(self.total());
+            .gauge(format!("{prefix}.total_count"))
+            .set(self.total() as f64);
     }
 }
 
@@ -267,9 +270,11 @@ mod tests {
         let counts = count_kmers(&[b"ACGTACGT".as_slice()], cfg(4, false));
         let reg = obs::MetricsRegistry::new();
         counts.record_metrics(&reg, "jellyfish");
+        // Per-batch re-recording must overwrite, not double-count.
+        counts.record_metrics(&reg, "jellyfish");
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("jellyfish.entries"), Some(4));
-        assert_eq!(snap.counter("jellyfish.total_count"), Some(5));
+        assert_eq!(snap.gauge("jellyfish.entries"), Some(4.0));
+        assert_eq!(snap.gauge("jellyfish.total_count"), Some(5.0));
         assert!(snap.gauge("jellyfish.load_factor").unwrap() > 0.0);
     }
 

@@ -105,14 +105,37 @@ impl ShardedKmerTable {
         self.len() == 0
     }
 
-    /// Record every shard's health into `registry` under one shared
-    /// `prefix` (entries/capacities sum across shards; the load-factor
-    /// gauge ends up holding the last shard's value, which is
-    /// representative — the shard hash spreads keys evenly).
+    /// Record the table's aggregate health into `registry` under `prefix`:
+    /// `{prefix}.entries`/`{prefix}.capacity` gauges sum over shards,
+    /// `{prefix}.load_factor` is the whole-table ratio, and
+    /// `{prefix}.probe_len` collects every shard's per-key displacements
+    /// into one histogram. Snapshot gauges overwrite on re-recording; only
+    /// the histogram accumulates.
     pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        let mut entries = 0u64;
+        let mut capacity = 0u64;
+        let hist = registry.histogram(format!("{prefix}.probe_len"));
         for shard in &self.shards {
-            shard.lock().record_metrics(registry, prefix);
+            let shard = shard.lock();
+            entries += shard.len() as u64;
+            capacity += shard.capacity() as u64;
+            for d in shard.probe_lengths() {
+                hist.record(d);
+            }
         }
+        registry
+            .gauge(format!("{prefix}.entries"))
+            .set(entries as f64);
+        registry
+            .gauge(format!("{prefix}.capacity"))
+            .set(capacity as f64);
+        registry
+            .gauge(format!("{prefix}.load_factor"))
+            .set(if capacity == 0 {
+                0.0
+            } else {
+                entries as f64 / capacity as f64
+            });
     }
 
     /// Merge all shards into one owned table. Shards are disjoint by
@@ -213,8 +236,12 @@ mod tests {
         }
         let reg = obs::MetricsRegistry::new();
         t.record_metrics(&reg, "jf");
+        // Re-recording must overwrite the snapshot gauges, not add to them.
+        t.record_metrics(&reg, "jf");
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("jf.entries"), Some(800));
-        assert_eq!(snap.histogram("jf.probe_len").unwrap().count, 800);
+        assert_eq!(snap.gauge("jf.entries"), Some(800.0));
+        let lf = snap.gauge("jf.load_factor").unwrap();
+        assert!(lf > 0.0 && lf <= 0.5, "whole-table load factor {lf}");
+        assert_eq!(snap.histogram("jf.probe_len").unwrap().count, 1600);
     }
 }

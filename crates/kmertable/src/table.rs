@@ -259,16 +259,18 @@ impl PackedKmerTable {
         })
     }
 
-    /// Record table health into `registry`: `{prefix}.entries` and
-    /// `{prefix}.capacity` as counters, `{prefix}.load_factor` as a gauge
-    /// and `{prefix}.probe_len` as a histogram of per-key displacements.
+    /// Record table health into `registry`: `{prefix}.entries`,
+    /// `{prefix}.capacity` and `{prefix}.load_factor` as gauges (snapshot
+    /// values — recording twice, e.g. per-batch health checks, must not
+    /// accumulate) and `{prefix}.probe_len` as a histogram of per-key
+    /// displacements.
     pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
         registry
-            .counter(format!("{prefix}.entries"))
-            .add(self.len() as u64);
+            .gauge(format!("{prefix}.entries"))
+            .set(self.len() as f64);
         registry
-            .counter(format!("{prefix}.capacity"))
-            .add(self.capacity() as u64);
+            .gauge(format!("{prefix}.capacity"))
+            .set(self.capacity() as f64);
         registry
             .gauge(format!("{prefix}.load_factor"))
             .set(self.load_factor());
@@ -449,10 +451,14 @@ mod tests {
         // Every stored key must be reachable within its recorded length.
         let reg = obs::MetricsRegistry::new();
         t.record_metrics(&reg, "tbl");
+        // Snapshot values must not accumulate across repeated recordings.
+        t.record_metrics(&reg, "tbl");
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("tbl.entries"), Some(1000));
-        assert_eq!(snap.histogram("tbl.probe_len").unwrap().count, 1000);
+        assert_eq!(snap.gauge("tbl.entries"), Some(1000.0));
+        assert_eq!(snap.gauge("tbl.capacity"), Some(t.capacity() as f64));
         assert_eq!(snap.gauge("tbl.load_factor"), Some(t.load_factor()));
+        // The probe-length histogram intentionally accumulates samples.
+        assert_eq!(snap.histogram("tbl.probe_len").unwrap().count, 2000);
     }
 
     #[test]

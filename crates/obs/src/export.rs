@@ -379,6 +379,51 @@ mod tests {
         assert!(out.contains("\"type\":\"histogram\",\"count\":2,\"sum\":5"));
     }
 
+    /// A span name engineered to break naive serializers: quotes,
+    /// backslashes, newlines, tabs, raw control bytes, and an escape-like
+    /// suffix that must not eat the closing quote.
+    const EVIL: &str = "gff\"loop\\1\n\t\u{1}\u{1f}end\\";
+
+    #[test]
+    fn adversarial_names_stay_valid_json() {
+        let tr = Tracer::new();
+        tr.name_track(0, EVIL);
+        tr.record_with(
+            0,
+            EVIL,
+            EVIL,
+            0.0,
+            1.0,
+            &[
+                (EVIL, 1.5),
+                ("nan\"arg", f64::NAN),
+                ("inf\\arg", f64::NEG_INFINITY),
+            ],
+        );
+        tr.counter(0, EVIL, 0.5, f64::INFINITY);
+        let trace = tr.take();
+        for out in [chrome_trace(&trace), trace_json(&trace)] {
+            assert!(is_valid_json(&out), "unparseable:\n{out}");
+            // Control characters must be escaped, never emitted raw.
+            assert!(
+                !out.bytes().any(|b| b < 0x20 && b != b'\n'),
+                "raw control byte"
+            );
+            assert!(out.contains("\\u0001") && out.contains("\\u001f"), "{out}");
+        }
+    }
+
+    #[test]
+    fn adversarial_metric_names_stay_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter(EVIL).add(1);
+        reg.gauge(format!("{EVIL}.gauge")).set(f64::NAN);
+        reg.histogram(format!("{EVIL}.hist")).record(u64::MAX);
+        let out = metrics_json(&reg.snapshot());
+        assert!(is_valid_json(&out), "unparseable:\n{out}");
+        assert!(!out.contains("NaN"), "{out}");
+    }
+
     #[test]
     fn non_finite_values_become_zero() {
         let tr = Tracer::new();

@@ -18,6 +18,12 @@
 //! to the Chrome `trace_event` format ([`export::chrome_trace`]) so any
 //! run opens directly in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
 //!
+//! On top of the trace sit two profiling views: [`flame`] folds a track's
+//! span tree into collapsed-stack format with self-time accounting (plus a
+//! self-contained SVG flamegraph renderer), and [`Sampler`] replays a
+//! fixed-period stack sampler over a finished trace, turning opaque
+//! long-running spans into `profile.*` progress counter series.
+//!
 //! The crate is deliberately **zero-dependency** (std only): it sits at
 //! the root of the workspace dependency graph so `mpisim`, `omp`,
 //! `kmertable`, `kcount`, `chrysalis` and `trinity` can all record into it.
@@ -42,13 +48,16 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flame;
 pub mod metrics;
+pub mod sampler;
 pub mod span;
 pub mod stats;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
+pub use sampler::{Sampler, StackSample};
 pub use span::{CounterSample, Span, SpanNode, SpanRecord, Trace, Tracer};
 pub use stats::PhaseSpread;
 

@@ -149,6 +149,12 @@ impl Trace {
     /// with *identical* intervals tie-break by recording order, later first
     /// — a wrapper span recorded just after the call it timed (e.g.
     /// `gff.comm1` around `mpi.allgatherv`) nests outside it.
+    ///
+    /// Partial overlap is **not** containment: a span that starts inside an
+    /// open span but ends after it closes that span and becomes its sibling
+    /// (or a new root). A span starting exactly at another's end is a
+    /// sibling too; zero-duration spans nest inside whatever is open at
+    /// their instant.
     pub fn tree(&self, track: u32) -> Vec<SpanNode> {
         let mut spans: Vec<(usize, &SpanRecord)> = self.on_track(track).enumerate().collect();
         spans.sort_by(|(ia, a), (ib, b)| {
@@ -173,9 +179,14 @@ impl Trace {
                 end: s.end,
                 children: Vec::new(),
             };
-            // Pop finished ancestors (spans that end before this one starts).
+            // Pop finished ancestors (spans that end at or before this
+            // one's start) and partially-overlapped ones: if the top does
+            // not contain this span's end, overlap is not containment —
+            // the top closes and this span becomes its sibling.
             while let Some(top) = stack.last() {
-                if top.end + EPS < s.start || (top.end - s.start).abs() <= EPS {
+                let finished = top.end <= s.start + EPS;
+                let contains = s.end <= top.end + EPS;
+                if finished || !contains {
                     let done = stack.pop().expect("non-empty");
                     match stack.last_mut() {
                         Some(parent) => parent.children.push(done),
@@ -185,11 +196,7 @@ impl Trace {
                     break;
                 }
             }
-            if stack.last().is_some() {
-                stack.push(node); // contained in the current top
-            } else {
-                stack.push(node); // new root chain
-            }
+            stack.push(node);
         }
         while let Some(done) = stack.pop() {
             match stack.last_mut() {
@@ -493,6 +500,63 @@ mod tests {
         assert_eq!(roots.len(), 1);
         assert_eq!(roots[0].name, "gff.comm1");
         assert_eq!(roots[0].children[0].name, "mpi.allgatherv");
+    }
+
+    #[test]
+    fn partial_overlap_is_sibling_not_child() {
+        // Regression: [0,10] then [5,15] — the second span starts inside
+        // the first but ends after it, so it must NOT be adopted as a
+        // child; the first closes and both are roots.
+        let tr = Tracer::new();
+        tr.record(0, "s", "a", 0.0, 10.0);
+        tr.record(0, "s", "b", 5.0, 15.0);
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 2, "overlapping spans are siblings: {roots:?}");
+        assert_eq!(roots[0].name, "a");
+        assert!(roots[0].children.is_empty());
+        assert_eq!(roots[1].name, "b");
+    }
+
+    #[test]
+    fn partial_overlap_inside_common_parent() {
+        // Overlap below a containing ancestor: the overlapped span closes
+        // onto the ancestor and the overlapping one becomes its sibling
+        // *under* that ancestor.
+        let tr = Tracer::new();
+        tr.record(0, "s", "outer", 0.0, 100.0);
+        tr.record(0, "s", "a", 0.0, 10.0);
+        tr.record(0, "s", "b", 5.0, 15.0);
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        let kids: Vec<&str> = roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, vec!["a", "b"]);
+        assert!(roots[0].children[0].children.is_empty());
+    }
+
+    #[test]
+    fn exact_tie_spans_are_siblings() {
+        // [0,5] then [5,10]: touching at one instant is not containment.
+        let tr = Tracer::new();
+        tr.record(0, "s", "first", 0.0, 5.0);
+        tr.record(0, "s", "second", 5.0, 10.0);
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().all(|r| r.children.is_empty()));
+    }
+
+    #[test]
+    fn zero_duration_span_nests_at_its_instant() {
+        let tr = Tracer::new();
+        tr.record(0, "s", "outer", 0.0, 10.0);
+        tr.record(0, "s", "marker", 4.0, 4.0); // instant inside outer
+        tr.record(0, "s", "at_end", 10.0, 10.0); // instant at outer's end
+        let roots = tr.snapshot().tree(0);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].name, "outer");
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].name, "marker");
+        assert_eq!(roots[1].name, "at_end");
     }
 
     #[test]

@@ -72,6 +72,12 @@ impl LoopSim {
     /// Record this loop's summary into a [`obs::MetricsRegistry`]:
     /// `{prefix}.chunks` (counter), `{prefix}.efficiency` and
     /// `{prefix}.imbalance` (gauges).
+    ///
+    /// `chunks` is *intentionally additive*: each call describes one loop
+    /// replay, so recording several replays under one prefix (e.g. the
+    /// per-chunk `rtt.loop` invocations) accumulates total chunks
+    /// scheduled — an event count, not a snapshot. The efficiency and
+    /// imbalance gauges are snapshots and keep the latest replay's value.
     pub fn record_metrics(&self, registry: &obs::MetricsRegistry, prefix: &str) {
         registry
             .counter(format!("{prefix}.chunks"))

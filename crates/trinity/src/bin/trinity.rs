@@ -8,11 +8,14 @@
 //! Reads FASTA (or FASTQ; detected by the first byte), runs
 //! Jellyfish → Inchworm → Chrysalis → Butterfly, and writes into `--out`:
 //! `inchworm.fasta`, `components.txt`, `read_assignments.txt`,
-//! `transcripts.fasta`, `collectl.txt` (text stage table), `trace.json`
-//! (Chrome `trace_event` timeline — open in `chrome://tracing` / Perfetto)
-//! and `metrics.json` (counter/gauge/histogram snapshot). `--nprocs` is the
-//! paper's extension: with `N > 1` Chrysalis runs in the hybrid MPI+OpenMP
-//! layout over `N` simulated ranks.
+//! `transcripts.fasta`, `collectl.txt` (text stage table + top-self-time
+//! profile), `trace.json` (Chrome `trace_event` timeline — open in
+//! `chrome://tracing` / Perfetto), `metrics.json` (counter/gauge/histogram
+//! snapshot), `flame.txt` (collapsed-stack fold for speedscope / inferno)
+//! and `flame.svg` (self-contained flamegraph; `--flame-out DIR` redirects
+//! the two flame artifacts). `--nprocs` is the paper's extension: with
+//! `N > 1` Chrysalis runs in the hybrid MPI+OpenMP layout over `N`
+//! simulated ranks.
 //!
 //! `--simulate tiny:7` generates a synthetic dataset instead of reading
 //! files (handy for smoke tests; see `simulate::datasets`).
@@ -27,7 +30,7 @@ use seqio::fastq::FastqReader;
 use seqio::stats::length_stats;
 use simulate::datasets::{Dataset, DatasetPreset};
 use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode};
-use trinity::report::{render_bars, render_trace};
+use trinity::report::{render_bars, render_self_time, render_trace};
 
 struct Args {
     reads: Vec<PathBuf>,
@@ -36,11 +39,13 @@ struct Args {
     threads: usize,
     k: usize,
     simulate: Option<(DatasetPreset, u64)>,
+    flame_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: trinity --reads <fasta|fastq>... --out <dir> \
-     [--nprocs N] [--threads T] [--kmer K] [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]]"
+     [--nprocs N] [--threads T] [--kmer K] [--flame-out DIR] \
+     [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 16,
         k: 16,
         simulate: None,
+        flame_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--reads" => args.reads.push(PathBuf::from(value("--reads")?)),
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--flame-out" => args.flame_out = Some(PathBuf::from(value("--flame-out")?)),
             "--nprocs" => {
                 args.nprocs = value("--nprocs")?
                     .parse()
@@ -179,9 +186,10 @@ fn run() -> Result<(), String> {
     std::fs::write(
         args.out.join("collectl.txt"),
         format!(
-            "{}\n{}",
+            "{}\n{}\n{}",
             render_trace(&out.trace),
-            render_bars(&out.trace, 50)
+            render_bars(&out.trace, 50),
+            render_self_time(&out.trace, 15)
         ),
     )
     .map_err(|e| e.to_string())?;
@@ -193,6 +201,18 @@ fn run() -> Result<(), String> {
     std::fs::write(
         args.out.join("metrics.json"),
         obs::export::metrics_json(&out.metrics),
+    )
+    .map_err(|e| e.to_string())?;
+    // Flamegraph artifacts: the merged-across-lanes fold as collapsed
+    // stacks (speedscope / inferno input) and a self-contained SVG.
+    let flame_dir = args.flame_out.clone().unwrap_or_else(|| args.out.clone());
+    std::fs::create_dir_all(&flame_dir).map_err(|e| e.to_string())?;
+    let folds = obs::flame::collapsed_merged(&out.trace);
+    std::fs::write(flame_dir.join("flame.txt"), obs::flame::to_text(&folds))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        flame_dir.join("flame.svg"),
+        obs::flame::svg(&folds, "trinity pipeline (all lanes)"),
     )
     .map_err(|e| e.to_string())?;
 

@@ -474,6 +474,22 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     for (dt, sub) in sub_traces {
         trace.merge_shifted(sub, dt, RANK_TRACK_BASE);
     }
+    // Sampling-profiler pass: walk each pipeline/rank lane's open-span
+    // stack at a fixed period and append `profile.depth` /
+    // `profile.samples.<leaf>` counter series, so long stages (gff
+    // loop1/loop2, the rtt chunk loops) show internal progress in a trace
+    // viewer instead of one opaque span. Thread lanes (busy/idle pairs)
+    // carry no nesting worth sampling and are skipped.
+    let sampler = obs::Sampler::with_samples(&trace, 256);
+    let lanes: std::collections::BTreeSet<u32> = trace
+        .spans
+        .iter()
+        .map(|s| s.track)
+        .filter(|&t| t < obs::THREAD_TRACK_BASE)
+        .collect();
+    for lane in lanes {
+        sampler.annotate(&mut trace, lane);
+    }
     PipelineOutput {
         contigs: Arc::try_unwrap(contigs_arc).unwrap_or_else(|a| a.as_ref().clone()),
         components,

@@ -68,6 +68,36 @@ pub fn render_bars(trace: &Trace, width: usize) -> String {
     out
 }
 
+/// Render the top-`limit` frames by *self time* — the flamegraph fold of
+/// every lane ([`obs::flame::collapsed_merged`]), re-grouped by leaf frame
+/// name. Like a multi-thread CPU flamegraph, values sum across lanes, so a
+/// phase that runs on every rank shows its total across ranks and the
+/// percentages are shares of summed lane time, not of wall-clock.
+pub fn render_self_time(trace: &Trace, limit: usize) -> String {
+    let mut by_frame: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    let folds = obs::flame::collapsed_merged(trace);
+    for (path, t) in &folds {
+        let leaf = path.rsplit(obs::flame::FRAME_SEP).next().unwrap_or(path);
+        *by_frame.entry(leaf).or_insert(0.0) += t;
+    }
+    let total: f64 = by_frame.values().sum();
+    let mut rows: Vec<(&str, f64)> = by_frame.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut out = format!(
+        "{:<24} {:>12} {:>8}\n",
+        "frame (by self time)", "self (s)", "share"
+    );
+    for (name, t) in rows.into_iter().take(limit) {
+        out.push_str(&format!(
+            "{:<24} {:>12.3} {:>7.1}%\n",
+            name,
+            t,
+            100.0 * t / total.max(f64::MIN_POSITIVE)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +139,24 @@ mod tests {
         let t = Trace::default();
         assert!(render_trace(&t).contains("TOTAL"));
         assert_eq!(render_bars(&t, 10), "");
+        assert_eq!(render_self_time(&t, 5).lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn self_time_table_ranks_leaves() {
+        let obs = obs::Tracer::new();
+        obs.record(1, "stage", "gff.total", 0.0, 10.0);
+        obs.record(1, "stage", "gff.loop1", 0.0, 7.0);
+        obs.record(2, "stage", "gff.total", 0.0, 10.0);
+        obs.record(2, "stage", "gff.loop1", 0.0, 4.0);
+        let s = render_self_time(&obs.take(), 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // loop1 sums across ranks (11s) and outranks total's self (9s).
+        assert!(lines[1].starts_with("gff.loop1"), "{s}");
+        assert!(lines[1].contains("11.000"), "{s}");
+        assert!(lines[2].starts_with("gff.total"), "{s}");
+        assert!(lines[2].contains("9.000"), "{s}");
+        // Limit truncates below the header.
+        assert_eq!(render_self_time(&trace(), 1).lines().count(), 2);
     }
 }
