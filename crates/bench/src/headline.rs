@@ -128,9 +128,21 @@ mod tests {
         // I/O is negligible. The near-linear *loop* scaling claim is
         // asserted by fig09's `loop_scales_nearly_linearly`; here the
         // hybrid stage must simply never regress.
-        assert!(rtt > 0.9, "RTT speedup {rtt:.2}");
-        assert!(bowtie > 1.15, "Bowtie speedup {bowtie:.2}");
-        assert!(gff > 0.7, "GFF must not regress badly: {gff:.2}");
+        // The thresholds are wall-measured, so they need real parallel
+        // hardware: on a box with only a core or two the 8-rank hybrid
+        // time-slices a single CPU and every ratio collapses to
+        // scheduler noise. Keep the shape checks; skip the thresholds.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            assert!(rtt > 0.9, "RTT speedup {rtt:.2}");
+            assert!(bowtie > 1.15, "Bowtie speedup {bowtie:.2}");
+            assert!(gff > 0.7, "GFF must not regress badly: {gff:.2}");
+        } else {
+            eprintln!(
+                "skipping speedup thresholds: only {cores} core(s) available \
+                 (gff {gff:.2}x, rtt {rtt:.2}x, bowtie {bowtie:.2}x)"
+            );
+        }
         assert!(render(&rows).contains("GraphFromFasta"));
     }
 }

@@ -1,15 +1,45 @@
-//! Cluster driver: spawn `P` ranks as threads and run a rank program.
+//! Cluster driver: spawn `P` ranks as threads and run a rank program,
+//! optionally under a deterministic fault plan.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::barrier::SimBarrier;
 use crate::comm::{Comm, Message, Shared};
+use crate::fault::{FaultPlan, FaultState, PeerAborted, RankCrash};
 use crate::netmodel::NetModel;
 use crate::stats::CommStats;
 
+/// How a rank's execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankState {
+    /// The rank program ran to completion.
+    Completed,
+    /// The rank was killed by its fault plan at communication operation
+    /// `op` (see [`crate::fault::FaultPlan::with_crash`]).
+    Crashed {
+        /// Operation index at which the rank died.
+        op: u64,
+    },
+    /// The rank unwound mid-run because a peer crashed (it would otherwise
+    /// have blocked forever in a collective).
+    Aborted,
+}
+
+impl RankState {
+    /// True for [`RankState::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankState::Completed)
+    }
+}
+
 /// What one rank produced: its return value, final virtual clock and
-/// communication counters.
+/// communication counters. [`run_cluster`] guarantees
+/// [`RankState::Completed`]; [`run_cluster_faulty`] may report crashed or
+/// aborted ranks, whose `value` is `None` but whose partial clock, stats
+/// and trace (including the `fault.crash` marker span) are still salvaged.
 #[derive(Debug, Clone)]
 pub struct RankOutput<T> {
     /// The rank id.
@@ -20,24 +50,45 @@ pub struct RankOutput<T> {
     pub time: f64,
     /// Communication counters.
     pub stats: CommStats,
-    /// Spans recorded by the rank (collectives, named measured sections),
-    /// on track `rank`, in virtual time.
+    /// Spans recorded by the rank (collectives, named measured sections,
+    /// injected faults), on track `rank`, in virtual time.
     pub trace: obs::Trace,
+    /// How the rank ended.
+    pub state: RankState,
 }
 
-/// Run `f` on `ranks` simulated MPI ranks and collect every rank's output,
-/// ordered by rank.
-///
-/// Each rank executes on its own OS thread with a private [`Comm`]. The
-/// closure receives the communicator and returns the rank's result. Panics
-/// in any rank abort the whole cluster (a panicking rank would deadlock
-/// peers blocked in collectives, so we propagate instead).
-pub fn run_cluster<T, F>(ranks: usize, net: NetModel, f: F) -> Vec<RankOutput<T>>
+/// Install (once, process-wide) a panic hook that silences the panics used
+/// as unwind vehicles for simulated faults — a [`RankCrash`] is an injected,
+/// *expected* event reported via [`RankState`], not a bug worth a backtrace.
+/// All other panics go to the previous hook untouched.
+fn install_quiet_fault_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<RankCrash>() || p.is::<PeerAborted>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn run_cluster_inner<T, F>(
+    ranks: usize,
+    net: NetModel,
+    plan: Option<Arc<FaultPlan>>,
+    f: F,
+) -> Vec<RankOutput<Option<T>>>
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
 {
     assert!(ranks > 0, "need at least one rank");
+    if plan.is_some() {
+        install_quiet_fault_hook();
+    }
     let mut senders = Vec::with_capacity(ranks);
     let mut receivers = Vec::with_capacity(ranks);
     for _ in 0..ranks {
@@ -47,50 +98,173 @@ where
     }
     let shared = Arc::new(Shared {
         size: ranks,
-        barrier: std::sync::Barrier::new(ranks),
+        barrier: SimBarrier::new(ranks),
         slots: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
         times: (0..ranks).map(|_| Mutex::new(0.0)).collect(),
         mail: senders,
+        fail_reports: (0..ranks).map(|_| Mutex::new(None)).collect(),
     });
 
-    let outputs: Vec<Mutex<Option<RankOutput<T>>>> = (0..ranks).map(|_| Mutex::new(None)).collect();
+    let outputs: Vec<Mutex<Option<RankOutput<Option<T>>>>> =
+        (0..ranks).map(|_| Mutex::new(None)).collect();
+    let genuine_panic = std::sync::atomic::AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
         for (rank, inbox) in receivers.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
+            let plan = plan.clone();
             let f = &f;
             let out_slot = &outputs[rank];
+            let genuine_panic = &genuine_panic;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(4 << 20)
                     .spawn_scoped(scope, move || {
-                        let mut comm = Comm::new(rank, shared, inbox, net);
-                        let value = f(&mut comm);
-                        *out_slot.lock() = Some(RankOutput {
-                            rank,
-                            value,
-                            time: comm.clock.now(),
-                            trace: comm.obs.take(),
-                            stats: comm.stats,
-                        });
+                        let fault = plan
+                            .filter(|p| p.is_active())
+                            .map(|p| FaultState::new(p, rank));
+                        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut comm = Comm::new(rank, Arc::clone(&shared), inbox, net, fault);
+                            let value = f(&mut comm);
+                            RankOutput {
+                                rank,
+                                value: Some(value),
+                                time: comm.clock.now(),
+                                trace: comm.obs.take(),
+                                stats: comm.stats,
+                                state: RankState::Completed,
+                            }
+                        }));
+                        let output = match run {
+                            Ok(out) => out,
+                            Err(payload) => {
+                                let state = if let Some(c) = payload.downcast_ref::<RankCrash>() {
+                                    RankState::Crashed { op: c.op }
+                                } else if payload.is::<PeerAborted>() {
+                                    RankState::Aborted
+                                } else {
+                                    // A real bug in the rank program: make
+                                    // sure peers blocked in collectives
+                                    // unwind, then re-raise after joins.
+                                    genuine_panic.store(true, std::sync::atomic::Ordering::SeqCst);
+                                    shared.barrier.abort();
+                                    RankState::Aborted
+                                };
+                                let report = shared.fail_reports[rank].lock().take();
+                                let (time, stats, trace) = report
+                                    .map(|r| (r.time, r.stats, r.trace))
+                                    .unwrap_or_default();
+                                RankOutput {
+                                    rank,
+                                    value: None,
+                                    time,
+                                    stats,
+                                    trace,
+                                    state,
+                                }
+                            }
+                        };
+                        *out_slot.lock() = Some(output);
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
         for h in handles {
-            if h.join().is_err() {
-                // A rank panicked; peers may be blocked in a collective.
-                // Abort loudly rather than deadlock.
-                panic!("a simulated rank panicked; aborting cluster run");
-            }
+            let _ = h.join();
         }
     });
+
+    if genuine_panic.load(std::sync::atomic::Ordering::SeqCst) {
+        // Preserve the historical contract: a panicking rank program
+        // aborts the whole cluster run loudly.
+        panic!("a simulated rank panicked; aborting cluster run");
+    }
 
     outputs
         .into_iter()
         .map(|slot| slot.into_inner().expect("rank produced output"))
+        .collect()
+}
+
+/// Run `f` on `ranks` simulated MPI ranks and collect every rank's output,
+/// ordered by rank.
+///
+/// Each rank executes on its own OS thread with a private [`Comm`]. The
+/// closure receives the communicator and returns the rank's result. Panics
+/// in any rank abort the whole cluster (a panicking rank would deadlock
+/// peers blocked in collectives, so we propagate instead). No faults are
+/// injected; see [`run_cluster_faulty`] for that.
+pub fn run_cluster<T, F>(ranks: usize, net: NetModel, f: F) -> Vec<RankOutput<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_cluster_inner(ranks, net, None, f)
+        .into_iter()
+        .map(|o| RankOutput {
+            rank: o.rank,
+            value: o.value.expect("fault-free cluster rank completed"),
+            time: o.time,
+            stats: o.stats,
+            trace: o.trace,
+            state: o.state,
+        })
+        .collect()
+}
+
+/// Run `f` on `ranks` simulated MPI ranks under a deterministic
+/// [`FaultPlan`]. Delays and dropped-message retries are charged to the
+/// virtual clocks (and recorded as `cat:"fault"` spans) without changing
+/// any payload; a scheduled crash kills its rank at the chosen operation
+/// and unwinds the surviving ranks.
+///
+/// Crashed ranks report `value: None` with
+/// [`RankState::Crashed`]; survivors that had to unwind report
+/// [`RankState::Aborted`]. Because crash points are one-shot on the shared
+/// plan instance and every rank's fault stream restarts identically,
+/// re-invoking with the *same* `plan` deterministically re-executes the
+/// crashed rank to completion — the replay primitive stage-level
+/// checkpoint/resume builds on.
+pub fn run_cluster_faulty<T, F>(
+    ranks: usize,
+    net: NetModel,
+    plan: Arc<FaultPlan>,
+    f: F,
+) -> Vec<RankOutput<Option<T>>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_cluster_inner(ranks, net, Some(plan), f)
+}
+
+/// Ranks that were killed by the fault plan in a [`run_cluster_faulty`]
+/// result.
+pub fn crashed_ranks<T>(outputs: &[RankOutput<Option<T>>]) -> Vec<usize> {
+    outputs
+        .iter()
+        .filter(|o| matches!(o.state, RankState::Crashed { .. }))
+        .map(|o| o.rank)
+        .collect()
+}
+
+/// Unwrap a [`run_cluster_faulty`] result in which every rank completed;
+/// `None` if any rank crashed or aborted.
+pub fn unwrap_clean<T>(outputs: Vec<RankOutput<Option<T>>>) -> Option<Vec<RankOutput<T>>> {
+    outputs
+        .into_iter()
+        .map(|o| {
+            o.value.map(|value| RankOutput {
+                rank: o.rank,
+                value,
+                time: o.time,
+                stats: o.stats,
+                trace: o.trace,
+                state: o.state,
+            })
+        })
         .collect()
 }
 
@@ -131,6 +305,7 @@ mod tests {
         });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value, 100);
+        assert!(out[0].state.is_completed());
     }
 
     #[test]
@@ -319,5 +494,145 @@ mod tests {
             total
         });
         assert!(out.iter().all(|o| o.value == 64));
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    #[test]
+    fn drops_and_delays_change_time_not_payloads() {
+        let clean = run_cluster(4, NetModel::idataplex(), |comm| {
+            comm.allgatherv(&[comm.rank() as u8; 64])
+        });
+        let plan = Arc::new(FaultPlan::new(11).with_drops(0.8, 4).with_delays(0.8, 1e-2));
+        let faulty = run_cluster_faulty(4, NetModel::idataplex(), plan, |comm| {
+            comm.allgatherv(&[comm.rank() as u8; 64])
+        });
+        let total_faults: u64 = faulty
+            .iter()
+            .map(|o| o.stats.retries + o.stats.delays)
+            .sum();
+        assert!(total_faults > 0, "plan with prob 0.8 injected nothing");
+        for (c, f) in clean.iter().zip(&faulty) {
+            assert!(f.state.is_completed());
+            assert_eq!(f.value.as_ref().unwrap(), &c.value, "payloads must match");
+            assert!(f.time >= c.time, "faults only ever add virtual time");
+        }
+    }
+
+    #[test]
+    fn retries_surface_as_spans() {
+        let plan = Arc::new(FaultPlan::new(3).with_drops(1.0, 2));
+        let out = run_cluster_faulty(2, NetModel::ideal(), plan, |comm| {
+            comm.barrier();
+            comm.allgatherv(&[comm.rank() as u8])
+        });
+        for o in &out {
+            let retries: Vec<_> = o
+                .trace
+                .spans
+                .iter()
+                .filter(|s| s.name == "mpi.retry")
+                .collect();
+            assert_eq!(retries.len() as u64, o.stats.retries);
+            assert_eq!(retries.len(), 4, "2 ops x 2 forced retries");
+            assert!(retries.iter().all(|s| s.cat == "fault"));
+            assert_eq!(retries[0].arg("attempt"), Some(1.0));
+            // Even an ideal (zero-latency) net charges the RTO for drops.
+            assert!(o.time > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_plan_seed_is_fully_deterministic() {
+        let run = || {
+            let plan = Arc::new(FaultPlan::new(77).with_drops(0.5, 3).with_delays(0.5, 1e-3));
+            run_cluster_faulty(4, NetModel::idataplex(), plan, |comm| {
+                let pooled = comm.allgatherv(&[comm.rank() as u8; 32]);
+                comm.barrier();
+                (pooled, comm.clock.now())
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value, y.value);
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(x.time, y.time, "virtual times replay exactly");
+        }
+    }
+
+    #[test]
+    fn crash_is_reported_and_peers_unwind() {
+        let plan = Arc::new(FaultPlan::new(0).with_crash(1, 2));
+        let outs = run_cluster_faulty(3, NetModel::ideal(), Arc::clone(&plan), |comm| {
+            for _ in 0..5 {
+                comm.allgatherv(&[comm.rank() as u8]);
+            }
+            comm.rank()
+        });
+        assert_eq!(outs[1].state, RankState::Crashed { op: 2 });
+        assert!(outs[1].value.is_none());
+        assert!(
+            outs[1].trace.spans.iter().any(|s| s.name == "fault.crash"),
+            "crash marker span is salvaged from the dead rank"
+        );
+        assert_eq!(crashed_ranks(&outs), vec![1]);
+        for o in [&outs[0], &outs[2]] {
+            assert!(
+                !o.state.is_completed(),
+                "peers blocked on the crashed rank must unwind, not hang"
+            );
+        }
+        assert!(unwrap_clean(outs).is_none());
+
+        // Crash points are one-shot on the plan: the replay runs clean and
+        // reproduces the fault-free payloads.
+        let replay = run_cluster_faulty(3, NetModel::ideal(), plan, |comm| {
+            for _ in 0..5 {
+                comm.allgatherv(&[comm.rank() as u8]);
+            }
+            comm.rank()
+        });
+        let replay = unwrap_clean(replay).expect("replay is clean");
+        let clean = run_cluster(3, NetModel::ideal(), |comm| {
+            for _ in 0..5 {
+                comm.allgatherv(&[comm.rank() as u8]);
+            }
+            comm.rank()
+        });
+        for (r, c) in replay.iter().zip(&clean) {
+            assert_eq!(r.value, c.value);
+        }
+    }
+
+    #[test]
+    fn crash_during_p2p_wait_unwinds_receiver() {
+        // Rank 0 crashes before sending; rank 1 is blocked in recv and must
+        // unwind once the cluster aborts instead of waiting forever.
+        let plan = Arc::new(FaultPlan::new(0).with_crash(0, 0));
+        let outs = run_cluster_faulty(2, NetModel::ideal(), plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![42]);
+            } else {
+                comm.recv(0, 9);
+            }
+        });
+        assert_eq!(outs[0].state, RankState::Crashed { op: 0 });
+        assert_eq!(outs[1].state, RankState::Aborted);
+    }
+
+    #[test]
+    fn inactive_plan_is_equivalent_to_fault_free() {
+        let plan = Arc::new(FaultPlan::new(123));
+        let faulty = run_cluster_faulty(3, NetModel::idataplex(), plan, |comm| {
+            comm.allgatherv(&[comm.rank() as u8; 16])
+        });
+        let clean = run_cluster(3, NetModel::idataplex(), |comm| {
+            comm.allgatherv(&[comm.rank() as u8; 16])
+        });
+        for (f, c) in faulty.iter().zip(&clean) {
+            assert_eq!(f.value.as_ref().unwrap(), &c.value);
+            assert_eq!(f.time, c.time, "inactive plan charges nothing");
+        }
     }
 }

@@ -1,12 +1,16 @@
 //! The per-rank communicator: point-to-point messages and collectives with
-//! MPI semantics, plus virtual-clock synchronization.
+//! MPI semantics, plus virtual-clock synchronization and deterministic
+//! fault injection.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::barrier::SimBarrier;
 use crate::clock::VClock;
+use crate::fault::{FaultState, PeerAborted, RankCrash};
 use crate::netmodel::NetModel;
 use crate::stats::CommStats;
 
@@ -19,16 +23,29 @@ pub(crate) struct Message {
     pub payload: Vec<u8>,
 }
 
+/// Partial state a rank salvages while unwinding from a crash or a peer
+/// abort, so even failed ranks report clock/stats/trace.
+#[derive(Debug)]
+pub(crate) struct FailReport {
+    pub time: f64,
+    pub stats: CommStats,
+    pub trace: obs::Trace,
+}
+
 /// State shared by every rank of a cluster.
 pub(crate) struct Shared {
     pub size: usize,
-    pub barrier: std::sync::Barrier,
+    /// Abortable collective barrier; its abort flag doubles as the
+    /// cluster-wide "a rank has crashed" signal.
+    pub barrier: SimBarrier,
     /// One payload slot per rank, used by collectives.
     pub slots: Vec<Mutex<Vec<u8>>>,
     /// Virtual entry time of each rank into the current collective.
     pub times: Vec<Mutex<f64>>,
     /// Mailbox senders, indexed by destination rank.
     pub mail: Vec<Sender<Message>>,
+    /// Where an unwinding rank deposits its partial state (indexed by rank).
+    pub fail_reports: Vec<Mutex<Option<FailReport>>>,
 }
 
 /// A rank's handle to the simulated communicator — the analogue of
@@ -39,6 +56,8 @@ pub struct Comm {
     inbox: Receiver<Message>,
     /// Out-of-order messages awaiting a matching `recv`.
     pending: Vec<Message>,
+    /// Deterministic fault schedule, if this run injects faults.
+    fault: Option<FaultState>,
     /// This rank's virtual clock.
     pub clock: VClock,
     /// The interconnect model used for cost accounting.
@@ -46,8 +65,9 @@ pub struct Comm {
     /// Communication counters.
     pub stats: CommStats,
     /// Span recorder: every collective logs a `cat:"comm"` span on track
-    /// `rank` in virtual time, and [`Comm::charge_measured_named`] logs
-    /// `cat:"compute"` spans. Drained into
+    /// `rank` in virtual time, [`Comm::charge_measured_named`] logs
+    /// `cat:"compute"` spans, and injected faults log `cat:"fault"` spans
+    /// (`mpi.delay`, `mpi.retry`, `fault.crash`). Drained into
     /// [`crate::cluster::RankOutput::trace`] when the rank finishes.
     pub obs: obs::Tracer,
 }
@@ -58,6 +78,7 @@ impl Comm {
         shared: Arc<Shared>,
         inbox: Receiver<Message>,
         net: NetModel,
+        fault: Option<FaultState>,
     ) -> Self {
         let tracer = obs::Tracer::new();
         tracer.name_track(rank as u32, format!("rank {rank}"));
@@ -66,6 +87,7 @@ impl Comm {
             shared,
             inbox,
             pending: Vec::new(),
+            fault,
             clock: VClock::new(),
             net,
             stats: CommStats::default(),
@@ -128,11 +150,104 @@ impl Comm {
         out
     }
 
+    // ---- fault machinery ------------------------------------------------
+
+    /// Consult the fault plan at one communication operation: crash if this
+    /// is the rank's scheduled (unfired) crash point, otherwise charge the
+    /// plan's injected delay and drop-retries to the virtual clock and
+    /// record them as `cat:"fault"` spans. `bytes` sizes the retransmission
+    /// cost of a dropped message.
+    fn fault_point(&mut self, bytes: usize) {
+        if self.fault.is_none() {
+            return;
+        }
+        let crash_op = {
+            let fault = self.fault.as_ref().expect("checked above");
+            if fault.crashes_now() {
+                fault.claim_crash()
+            } else {
+                None
+            }
+        };
+        if let Some(op) = crash_op {
+            let now = self.clock.now();
+            self.obs.record_with(
+                self.rank as u32,
+                "fault",
+                "fault.crash",
+                now,
+                now,
+                &[("op", op as f64)],
+            );
+            self.shared.barrier.abort();
+            self.deposit_fail_report();
+            std::panic::panic_any(RankCrash {
+                rank: self.rank,
+                op,
+            });
+        }
+        let decision = self.fault.as_mut().expect("checked above").next_op();
+        if decision.delay > 0.0 {
+            let t0 = self.clock.now();
+            self.clock.charge(decision.delay);
+            self.stats.delays += 1;
+            self.obs.record_with(
+                self.rank as u32,
+                "fault",
+                "mpi.delay",
+                t0,
+                self.clock.now(),
+                &[("op", decision.op as f64)],
+            );
+        }
+        for attempt in 1..=decision.retries {
+            let t0 = self.clock.now();
+            self.clock.charge(self.net.retry_cost(attempt, bytes));
+            self.stats.retries += 1;
+            self.obs.record_with(
+                self.rank as u32,
+                "fault",
+                "mpi.retry",
+                t0,
+                self.clock.now(),
+                &[
+                    ("op", decision.op as f64),
+                    ("attempt", attempt as f64),
+                    ("bytes", bytes as f64),
+                ],
+            );
+        }
+    }
+
+    /// Salvage clock/stats/trace for the cluster driver, then unwind
+    /// because a peer crashed.
+    fn abort_unwind(&mut self) -> ! {
+        self.deposit_fail_report();
+        std::panic::panic_any(PeerAborted);
+    }
+
+    fn deposit_fail_report(&mut self) {
+        *self.shared.fail_reports[self.rank].lock() = Some(FailReport {
+            time: self.clock.now(),
+            stats: self.stats,
+            trace: self.obs.take(),
+        });
+    }
+
+    /// Enter the collective barrier; unwind (instead of deadlocking) if the
+    /// cluster aborted because a rank crashed.
+    fn sync(&mut self) {
+        if self.shared.barrier.wait().is_err() {
+            self.abort_unwind();
+        }
+    }
+
     // ---- point-to-point -------------------------------------------------
 
     /// Non-blocking-ish send (buffered, like `MPI_Send` with small messages).
     pub fn send(&mut self, to: usize, tag: u32, payload: Vec<u8>) {
         assert!(to < self.size(), "send to rank {to} out of range");
+        self.fault_point(payload.len());
         let bytes = payload.len();
         let msg = Message {
             from: self.rank,
@@ -140,9 +255,15 @@ impl Comm {
             send_time: self.clock.now(),
             payload,
         };
-        self.shared.mail[to]
-            .send(msg)
-            .expect("destination rank hung up");
+        if self.shared.mail[to].send(msg).is_err() {
+            // The destination's inbox is gone: either the cluster is
+            // aborting (unwind with it) or a rank vanished outside any
+            // fault plan (a genuine bug).
+            if self.shared.barrier.is_aborted() {
+                self.abort_unwind();
+            }
+            panic!("destination rank hung up");
+        }
         self.stats.p2p_sends += 1;
         self.stats.bytes_sent += bytes as u64;
     }
@@ -160,15 +281,32 @@ impl Comm {
             return self.complete_recv(msg);
         }
         loop {
-            let msg = self.inbox.recv().expect("all senders hung up");
-            if msg.from == from && msg.tag == tag {
-                return self.complete_recv(msg);
+            match self.inbox.recv_timeout(Duration::from_millis(5)) {
+                Ok(msg) => {
+                    if msg.from == from && msg.tag == tag {
+                        return self.complete_recv(msg);
+                    }
+                    self.pending.push(msg);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Waiting on a sender that may have crashed: bail out
+                    // once the cluster aborts instead of blocking forever.
+                    if self.shared.barrier.is_aborted() {
+                        self.abort_unwind();
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    if self.shared.barrier.is_aborted() {
+                        self.abort_unwind();
+                    }
+                    panic!("all senders hung up");
+                }
             }
-            self.pending.push(msg);
         }
     }
 
     fn complete_recv(&mut self, msg: Message) -> Vec<u8> {
+        self.fault_point(msg.payload.len());
         let cost = self.net.p2p(msg.payload.len());
         self.clock.advance_to(msg.send_time + cost);
         self.stats.p2p_recvs += 1;
@@ -182,6 +320,7 @@ impl Comm {
     /// entry time plus the barrier's latency cost.
     pub fn barrier(&mut self) {
         let start = self.clock.now();
+        self.fault_point(0);
         let entry_max = self.exchange_times();
         self.clock
             .advance_to(entry_max + self.net.barrier(self.size()));
@@ -191,17 +330,21 @@ impl Comm {
     }
 
     /// `MPI_Allgatherv` over raw bytes: every rank contributes a buffer and
-    /// receives every rank's buffer, indexed by rank.
+    /// receives every rank's buffer, indexed by rank. An idle rank
+    /// contributes an *empty* buffer, never an absent one: the result on
+    /// every rank always has exactly `size` positional entries, which is
+    /// what lets crash-replay pool partial work by rank index.
     pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
         let start = self.clock.now();
+        self.fault_point(data.len());
         *self.shared.slots[self.rank].lock() = data.to_vec();
         *self.shared.times[self.rank].lock() = self.clock.now();
-        self.shared.barrier.wait();
+        self.sync();
         let parts: Vec<Vec<u8>> = (0..self.size())
             .map(|r| self.shared.slots[r].lock().clone())
             .collect();
         let entry_max = self.read_entry_max();
-        self.shared.barrier.wait(); // everyone done reading before reuse
+        self.sync(); // everyone done reading before reuse
         let total: usize = parts.iter().map(Vec::len).sum();
         self.clock
             .advance_to(entry_max + self.net.allgatherv(self.size(), total));
@@ -226,14 +369,15 @@ impl Comm {
     pub fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         assert!(root < self.size());
         let start = self.clock.now();
+        self.fault_point(data.len());
         if self.rank == root {
             *self.shared.slots[root].lock() = data.to_vec();
         }
         *self.shared.times[self.rank].lock() = self.clock.now();
-        self.shared.barrier.wait();
+        self.sync();
         let out = self.shared.slots[root].lock().clone();
         let entry_max = self.read_entry_max();
-        self.shared.barrier.wait();
+        self.sync();
         self.clock
             .advance_to(entry_max + self.net.tree_move(self.size(), out.len()));
         self.stats.collectives += 1;
@@ -258,9 +402,10 @@ impl Comm {
     pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size());
         let start = self.clock.now();
+        self.fault_point(data.len());
         *self.shared.slots[self.rank].lock() = data.to_vec();
         *self.shared.times[self.rank].lock() = self.clock.now();
-        self.shared.barrier.wait();
+        self.sync();
         let out = if self.rank == root {
             Some(
                 (0..self.size())
@@ -271,7 +416,7 @@ impl Comm {
             None
         };
         let entry_max = self.read_entry_max();
-        self.shared.barrier.wait();
+        self.sync();
         let total: usize = out
             .as_ref()
             .map(|parts| parts.iter().map(Vec::len).sum())
@@ -334,17 +479,19 @@ impl Comm {
     /// the dynamic-partitioning driver, where the master executes and
     /// measures all chunks so the dealing protocol can be replayed
     /// deterministically. Never use it for data the modeled system would
-    /// actually move over the network.
+    /// actually move over the network. Being outside the modeled network,
+    /// it is also exempt from fault injection (it still unwinds cleanly if
+    /// a peer crashed).
     pub fn transport_bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         assert!(root < self.size());
         if self.rank == root {
             *self.shared.slots[root].lock() = data.to_vec();
         }
         *self.shared.times[self.rank].lock() = self.clock.now();
-        self.shared.barrier.wait();
+        self.sync();
         let out = self.shared.slots[root].lock().clone();
         let entry_max = self.read_entry_max();
-        self.shared.barrier.wait();
+        self.sync();
         self.clock.advance_to(entry_max);
         out
     }
@@ -354,9 +501,9 @@ impl Comm {
     /// Write our entry time, wait, read the max, wait again.
     fn exchange_times(&mut self) -> f64 {
         *self.shared.times[self.rank].lock() = self.clock.now();
-        self.shared.barrier.wait();
+        self.sync();
         let max = self.read_entry_max();
-        self.shared.barrier.wait();
+        self.sync();
         max
     }
 

@@ -24,16 +24,22 @@
 
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod clock;
 pub mod cluster;
 pub mod comm;
+pub mod fault;
 pub mod netmodel;
 pub mod pack;
 pub mod stats;
 
 pub use clock::VClock;
-pub use cluster::{merge_traces, run_cluster, RankOutput};
+pub use cluster::{
+    crashed_ranks, merge_traces, run_cluster, run_cluster_faulty, unwrap_clean, RankOutput,
+    RankState,
+};
 pub use comm::Comm;
+pub use fault::FaultPlan;
 pub use netmodel::NetModel;
 pub use stats::CommStats;
 

@@ -73,6 +73,23 @@ impl NetModel {
     pub fn tree_move(&self, ranks: usize, total_bytes: usize) -> f64 {
         self.alpha * Self::hops(ranks) as f64 + self.beta * total_bytes as f64
     }
+
+    /// Detection timeout for a lost message: retransmission timers sit far
+    /// above the per-hop latency (we use 1000·α), floored at 1 ms so that
+    /// even an idealized zero-latency network pays a real price for a drop
+    /// — lost messages are never free.
+    pub fn rto(&self) -> f64 {
+        (self.alpha * 1000.0).max(1e-3)
+    }
+
+    /// Virtual-time cost of the `attempt`-th (1-based) retransmission of a
+    /// `bytes`-sized message: the detection timeout with exponential
+    /// backoff (doubling per attempt, capped at 2¹⁶× to stay finite) plus
+    /// the wire cost of resending the payload.
+    pub fn retry_cost(&self, attempt: u32, bytes: usize) -> f64 {
+        let backoff = (1u64 << attempt.saturating_sub(1).min(16)) as f64;
+        self.rto() * backoff + self.p2p(bytes)
+    }
 }
 
 impl Default for NetModel {

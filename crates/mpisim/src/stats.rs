@@ -16,6 +16,10 @@ pub struct CommStats {
     pub p2p_recvs: u64,
     /// Collective operations participated in (barriers included).
     pub collectives: u64,
+    /// Retransmissions of dropped messages injected by a fault plan.
+    pub retries: u64,
+    /// Message delays injected by a fault plan.
+    pub delays: u64,
 }
 
 impl CommStats {
@@ -26,6 +30,8 @@ impl CommStats {
         self.p2p_sends += other.p2p_sends;
         self.p2p_recvs += other.p2p_recvs;
         self.collectives += other.collectives;
+        self.retries += other.retries;
+        self.delays += other.delays;
     }
 }
 
@@ -41,18 +47,28 @@ mod tests {
             p2p_sends: 1,
             p2p_recvs: 2,
             collectives: 3,
+            retries: 4,
+            delays: 5,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.bytes_sent, 20);
         assert_eq!(a.collectives, 6);
+        assert_eq!(a.retries, 8);
+        assert_eq!(a.delays, 10);
     }
 
     #[test]
     fn default_is_zero() {
         let s = CommStats::default();
         assert_eq!(
-            s.bytes_sent + s.bytes_received + s.p2p_sends + s.p2p_recvs + s.collectives,
+            s.bytes_sent
+                + s.bytes_received
+                + s.p2p_sends
+                + s.p2p_recvs
+                + s.collectives
+                + s.retries
+                + s.delays,
             0
         );
     }

@@ -50,6 +50,45 @@ proptest! {
         }
     }
 
+    /// Pin the payload semantics of the three v-collectives against a
+    /// plain single-rank reference model, across 1..=8 ranks and
+    /// arbitrary per-rank payloads (empty ones included):
+    ///
+    /// * `allgatherv` — every rank gets `size` positional parts, part `r`
+    ///   being exactly rank `r`'s contribution;
+    /// * `bcast` — every rank gets the root's buffer, whatever it passed
+    ///   itself;
+    /// * `gatherv` — the root gets all parts positionally, everyone else
+    ///   gets `None`.
+    #[test]
+    fn v_collectives_match_reference_model(
+        ranks in 1usize..9,
+        root in 0usize..8,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48), 8),
+    ) {
+        let root = root % ranks;
+        let p = payloads.clone();
+        let outs = run_cluster(ranks, NetModel::idataplex(), move |comm| {
+            let mine = p[comm.rank()].clone();
+            let ag = comm.allgatherv(&mine);
+            let bc = comm.bcast(root, &mine);
+            let gv = comm.gatherv(root, &mine);
+            (ag, bc, gv)
+        });
+        let model: Vec<Vec<u8>> = payloads[..ranks].to_vec();
+        for (r, o) in outs.iter().enumerate() {
+            let (ag, bc, gv) = &o.value;
+            prop_assert_eq!(ag, &model, "allgatherv on rank {}", r);
+            prop_assert_eq!(bc, &model[root], "bcast on rank {}", r);
+            if r == root {
+                prop_assert_eq!(gv.as_ref().unwrap(), &model, "gatherv root");
+            } else {
+                prop_assert!(gv.is_none(), "gatherv non-root {} gets None", r);
+            }
+        }
+    }
+
     #[test]
     fn allreduce_sum_is_rank_invariant(ranks in 1usize..9, values in proptest::collection::vec(0u64..1000, 9)) {
         let vals = values.clone();

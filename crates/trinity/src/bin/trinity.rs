@@ -24,13 +24,15 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use mpisim::NetModel;
+use std::sync::Arc;
+
+use mpisim::{FaultPlan, NetModel};
 use seqio::fasta::{FastaWriter, Record};
 use seqio::fastq::FastqReader;
 use seqio::stats::length_stats;
 use simulate::datasets::{Dataset, DatasetPreset};
-use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode};
-use trinity::report::{render_bars, render_self_time, render_trace};
+use trinity::pipeline::{run_pipeline_opts, PipelineConfig, PipelineMode, RunOptions};
+use trinity::report::{render_bars, render_faults, render_self_time, render_trace};
 
 struct Args {
     reads: Vec<PathBuf>,
@@ -40,12 +42,59 @@ struct Args {
     k: usize,
     simulate: Option<(DatasetPreset, u64)>,
     flame_out: Option<PathBuf>,
+    faults: Option<Arc<FaultPlan>>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
 }
 
 fn usage() -> &'static str {
     "usage: trinity --reads <fasta|fastq>... --out <dir> \
      [--nprocs N] [--threads T] [--kmer K] [--flame-out DIR] \
-     [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]]"
+     [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]] \
+     [--faults SEED[,delay=P][,drop=P][,crash=RANK@OP]...] \
+     [--checkpoint DIR] [--resume]"
+}
+
+/// Parse a `--faults` spec: a mandatory RNG seed, then comma-separated
+/// `delay=P` (per-op delay probability, up to 1 ms each), `drop=P`
+/// (per-message drop probability, retried up to 3 times) and
+/// `crash=RANK@OP` (kill RANK at its OP-th communication operation;
+/// repeatable) clauses. Example: `--faults 42,delay=0.1,drop=0.05,crash=1@7`.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut parts = spec.split(',');
+    let seed: u64 = parts
+        .next()
+        .expect("split yields at least one part")
+        .parse()
+        .map_err(|e| format!("--faults seed: {e}"))?;
+    let mut plan = FaultPlan::new(seed);
+    for part in parts {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--faults: expected key=value, got {part:?}\n{}", usage()))?;
+        match key {
+            "delay" => {
+                let p: f64 = val.parse().map_err(|e| format!("--faults delay: {e}"))?;
+                plan = plan.with_delays(p, 1e-3);
+            }
+            "drop" => {
+                let p: f64 = val.parse().map_err(|e| format!("--faults drop: {e}"))?;
+                plan = plan.with_drops(p, 3);
+            }
+            "crash" => {
+                let (rank, op) = val
+                    .split_once('@')
+                    .ok_or_else(|| format!("--faults crash: expected RANK@OP, got {val:?}"))?;
+                plan = plan.with_crash(
+                    rank.parse()
+                        .map_err(|e| format!("--faults crash rank: {e}"))?,
+                    op.parse().map_err(|e| format!("--faults crash op: {e}"))?,
+                );
+            }
+            other => return Err(format!("--faults: unknown clause {other:?}\n{}", usage())),
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
         k: 16,
         simulate: None,
         flame_out: None,
+        faults: None,
+        checkpoint: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -97,12 +149,18 @@ fn parse_args() -> Result<Args, String> {
                 let seed = seed.parse().map_err(|e| format!("--simulate seed: {e}"))?;
                 args.simulate = Some((preset, seed));
             }
+            "--faults" => args.faults = Some(Arc::new(parse_fault_plan(&value("--faults")?)?)),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => args.resume = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
     if args.reads.is_empty() && args.simulate.is_none() {
         return Err(format!("no input: pass --reads or --simulate\n{}", usage()));
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err(format!("--resume needs --checkpoint DIR\n{}", usage()));
     }
     if args.k < 8 || args.k > 32 {
         return Err("--kmer must be in 8..=32".into());
@@ -163,7 +221,12 @@ fn run() -> Result<(), String> {
         PipelineMode::Serial
     };
 
-    let out = run_pipeline(&reads, &cfg);
+    let run_opts = RunOptions {
+        faults: args.faults.clone(),
+        checkpoint_dir: args.checkpoint.clone(),
+        resume: args.resume,
+    };
+    let out = run_pipeline_opts(&reads, &cfg, &run_opts);
 
     std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
     write_fasta(&args.out.join("inchworm.fasta"), &out.contigs)?;
@@ -183,16 +246,25 @@ fn run() -> Result<(), String> {
     for &(r, c) in &out.assignments {
         writeln!(f, "{}\tcomp{c}", reads[r as usize].id).map_err(|e| e.to_string())?;
     }
+    let fault_report = render_faults(&out.metrics);
     std::fs::write(
         args.out.join("collectl.txt"),
         format!(
-            "{}\n{}\n{}",
+            "{}\n{}\n{}{}",
             render_trace(&out.trace),
             render_bars(&out.trace, 50),
-            render_self_time(&out.trace, 15)
+            render_self_time(&out.trace, 15),
+            if fault_report.is_empty() {
+                String::new()
+            } else {
+                format!("\n{fault_report}")
+            }
         ),
     )
     .map_err(|e| e.to_string())?;
+    if !fault_report.is_empty() {
+        eprint!("{fault_report}");
+    }
     std::fs::write(
         args.out.join("trace.json"),
         obs::export::chrome_trace(&out.trace),

@@ -9,7 +9,10 @@
 //! collectl-style text views and `obs::export` serialises the same trace
 //! to JSON / Chrome `trace_event` files.
 
+pub mod checkpoint;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineMode, PipelineOutput};
+pub use pipeline::{
+    run_pipeline, run_pipeline_opts, PipelineConfig, PipelineMode, PipelineOutput, RunOptions,
+};

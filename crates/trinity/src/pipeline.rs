@@ -8,6 +8,7 @@
 //! [`obs::MetricsRegistry`]; both land in [`PipelineOutput`] ready for the
 //! JSON / Chrome-trace exporters in [`obs::export`].
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use seqio::fasta::Record;
@@ -23,9 +24,11 @@ use chrysalis::timings::{GffTimings, RttTimings};
 use inchworm::assemble::{assemble, InchwormConfig};
 use inchworm::dictionary::Dictionary;
 use kcount::counter::{count_kmers, CounterConfig};
-use mpisim::{run_cluster, NetModel};
+use mpisim::{run_cluster, run_cluster_faulty, Comm, FaultPlan, NetModel};
 use omp::makespan::simulate_loop;
 use omp::pool::parallel_map_timed;
+
+use crate::checkpoint as ckpt;
 
 /// Rough resident-set model for the pipeline's data structures. The
 /// coefficients are hash-map-overhead multipliers, not exact science —
@@ -180,6 +183,92 @@ impl PipelineConfig {
     }
 }
 
+/// Run-level options orthogonal to [`PipelineConfig`]: fault injection
+/// for the simulated cluster stages and stage-level checkpoint/resume.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Deterministic fault plan applied to every cluster stage (Bowtie,
+    /// GraphFromFasta, ReadsToTranscripts). Delays and drops perturb
+    /// virtual time only; rank crashes trigger a deterministic stage
+    /// replay (crash points are one-shot).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Directory for stage checkpoints. When set, each checkpointable
+    /// stage writes its output (with a content checksum) after completing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from `checkpoint_dir`: skip each stage whose checkpoint
+    /// validates, for as long as the completed prefix holds. The first
+    /// missing or corrupt checkpoint switches the rest of the run back to
+    /// compute-and-save.
+    pub resume: bool,
+}
+
+/// Result of running one cluster stage to completion under (possible)
+/// fault injection.
+struct ClusterRun<T> {
+    /// Per-rank outputs of the final, successful attempt.
+    outs: Vec<mpisim::RankOutput<T>>,
+    /// Total virtual time, including crashed attempts that were replayed.
+    time: f64,
+    /// Partial traces salvaged from crashed/aborted attempts (they carry
+    /// the `fault.crash` markers and any pre-crash comm spans).
+    aborted_traces: Vec<obs::Trace>,
+}
+
+/// Run a cluster stage, replaying it until every rank completes. Crash
+/// points are one-shot on the shared plan, so each replay is strictly
+/// closer to a clean run; drops/delays replay with identical RNG streams
+/// and never change payloads. Fault counters are folded into `metrics`.
+fn run_cluster_resilient<T, F>(
+    ranks: usize,
+    net: NetModel,
+    plan: Option<&Arc<FaultPlan>>,
+    metrics: &obs::MetricsRegistry,
+    f: F,
+) -> ClusterRun<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let Some(plan) = plan.filter(|p| p.is_active()) else {
+        let outs = run_cluster(ranks, net, f);
+        return ClusterRun {
+            time: max_time(&outs),
+            outs,
+            aborted_traces: Vec::new(),
+        };
+    };
+    let mut time = 0.0;
+    let mut aborted_traces = Vec::new();
+    // Each failed attempt fires at least one one-shot crash point, so the
+    // loop is bounded by the number of scheduled crashes.
+    for _attempt in 0..=plan.crashes().len() {
+        let outs = run_cluster_faulty(ranks, net, Arc::clone(plan), &f);
+        for o in &outs {
+            metrics.counter("fault.retries").add(o.stats.retries);
+            metrics.counter("fault.delays").add(o.stats.delays);
+        }
+        time += outs.iter().map(|o| o.time).fold(0.0, f64::max);
+        if outs.iter().all(|o| o.state.is_completed()) {
+            let outs = mpisim::unwrap_clean(outs).expect("all ranks completed");
+            return ClusterRun {
+                outs,
+                time,
+                aborted_traces,
+            };
+        }
+        metrics
+            .counter("fault.rank_crashes")
+            .add(mpisim::crashed_ranks(&outs).len() as u64);
+        metrics.counter("fault.replays").add(1);
+        for o in outs {
+            if !o.trace.is_empty() {
+                aborted_traces.push(o.trace);
+            }
+        }
+    }
+    unreachable!("crash points are one-shot; a replay must eventually run clean")
+}
+
 /// Everything the pipeline produced.
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
@@ -202,12 +291,60 @@ pub struct PipelineOutput {
     /// factors, probe-length histograms, weld/assignment counts, MPI
     /// bytes). Export with [`obs::export::metrics_json`].
     pub metrics: obs::MetricsSnapshot,
-    /// Per-rank GraphFromFasta timings (one entry in serial mode).
+    /// Per-rank GraphFromFasta timings (one entry in serial mode; empty
+    /// when the stage was resumed from a checkpoint).
     pub gff_timings: Vec<GffTimings>,
-    /// Per-rank ReadsToTranscripts timings.
+    /// Per-rank ReadsToTranscripts timings (empty when resumed).
     pub rtt_timings: Vec<RttTimings>,
     /// Per-rank Bowtie timings.
     pub bowtie_timings: Vec<BowtieTimings>,
+}
+
+/// Per-run checkpoint controller: `resume` consumes checkpoints while the
+/// completed prefix validates; `save` writes them after computed stages.
+struct CkptCtl<'a> {
+    dir: Option<&'a Path>,
+    fingerprint: u64,
+    prefix_valid: bool,
+}
+
+impl CkptCtl<'_> {
+    /// Try to resume `stage`. Returns the checkpoint only if the dir is
+    /// configured, every earlier stage resumed cleanly, and this stage's
+    /// file validates (magic, version, checksum, fingerprint). A missing
+    /// file is the normal "not completed yet" case; a corrupt one is
+    /// counted and reported before falling back to recompute.
+    fn resume(&mut self, metrics: &obs::MetricsRegistry, stage: &str) -> Option<ckpt::Checkpoint> {
+        let dir = self.dir?;
+        if !self.prefix_valid {
+            return None;
+        }
+        match ckpt::load(dir, self.fingerprint, stage) {
+            Ok(ck) => {
+                metrics.counter("ckpt.resumed").add(1);
+                Some(ck)
+            }
+            Err(err) => {
+                if !matches!(err, ckpt::CkptError::Io(_)) {
+                    metrics.counter("ckpt.invalid").add(1);
+                    eprintln!("checkpoint for {stage} rejected ({err}); recomputing");
+                }
+                self.prefix_valid = false;
+                None
+            }
+        }
+    }
+
+    /// Persist a computed stage's output (no-op without a checkpoint dir).
+    fn save(&self, metrics: &obs::MetricsRegistry, stage: &str, duration: f64, payload: &[u8]) {
+        let Some(dir) = self.dir else { return };
+        match ckpt::save(dir, self.fingerprint, stage, duration, payload) {
+            Ok(_) => {
+                metrics.counter("ckpt.saved").add(1);
+            }
+            Err(e) => eprintln!("warning: could not write {stage} checkpoint: {e}"),
+        }
+    }
 }
 
 fn max_time<T>(outs: &[mpisim::RankOutput<T>]) -> f64 {
@@ -231,69 +368,129 @@ fn record_cluster<T>(
     }
 }
 
-/// Run the pipeline over `reads`.
+/// Run the pipeline over `reads` (fault-free, no checkpointing).
 pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
+    run_pipeline_opts(reads, cfg, &RunOptions::default())
+}
+
+/// Run the pipeline over `reads` with [`RunOptions`]: deterministic fault
+/// injection on the cluster stages and/or stage-level checkpoint/resume.
+pub fn run_pipeline_opts(
+    reads: &[Record],
+    cfg: &PipelineConfig,
+    opts: &RunOptions,
+) -> PipelineOutput {
     let mut log = StageLog::new();
     let metrics = obs::MetricsRegistry::new();
     // Per-rank sub-traces, collected as (stage start, trace) and spliced
     // into the pipeline timeline at the end.
     let mut sub_traces: Vec<(f64, obs::Trace)> = Vec::new();
     let k = cfg.chrysalis.k;
-
-    // ---- Jellyfish ----
-    // Counting is embarrassingly parallel over read batches (Jellyfish's
-    // lock-free table); time per-batch costs and replay the 16-thread
-    // makespan, then merge serially (measured).
-    let batches: Vec<&[Record]> = reads.chunks(256).collect();
-    let (tables, costs) = parallel_map_timed(&batches, |batch| {
-        count_kmers(
-            batch,
-            CounterConfig {
-                k,
-                canonical: true,
-                threads: 1,
-                shards: 1,
-            },
-        )
-    });
-    let count_sim = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule);
-    let count_time = count_sim.makespan;
-    let t0 = std::time::Instant::now();
-    let mut counts = kcount::counter::KmerCounts::empty(k);
-    for t in tables {
-        for (km, c) in t.iter() {
-            counts.add(km, c);
-        }
-    }
-    counts.retain_min(cfg.min_kmer_count.max(1));
-    let merge_time = t0.elapsed().as_secs_f64();
-    let distinct = counts.len();
-    counts.record_metrics(&metrics, "jellyfish");
-    count_sim.record_metrics(&metrics, "jellyfish.loop");
-    let start = log.push(
-        "Jellyfish",
-        count_time + merge_time,
-        ram::jellyfish(distinct),
-    );
-    count_sim.record_spans(&log.obs, start, obs::THREAD_TRACK_BASE, "jellyfish");
-
-    // ---- Inchworm ----
-    let t0 = std::time::Instant::now();
-    let dict = Dictionary::from_counts(counts.clone(), cfg.min_kmer_count.max(1));
-    let contig_list = assemble(&dict, cfg.inchworm);
-    let contigs: Vec<Record> = contig_list.iter().map(|c| c.to_record()).collect();
-    let contig_bytes: usize = contigs.iter().map(|c| c.seq.len()).sum();
-    log.push(
-        "Inchworm",
-        t0.elapsed().as_secs_f64(),
-        ram::inchworm(distinct, contig_bytes),
-    );
-
-    // ---- Chrysalis: Bowtie ----
     let (ranks, net) = match cfg.mode {
         PipelineMode::Serial => (1, NetModel::ideal()),
         PipelineMode::Hybrid { ranks, net } => (ranks, net),
     };
+    let mut ctl = CkptCtl {
+        dir: opts.checkpoint_dir.as_deref(),
+        fingerprint: if opts.checkpoint_dir.is_some() {
+            ckpt::run_fingerprint(
+                reads,
+                &[
+                    k as u64,
+                    cfg.min_kmer_count as u64,
+                    ranks as u64,
+                    cfg.inchworm.min_seed_count as u64,
+                    cfg.inchworm.min_extend_count as u64,
+                    cfg.inchworm.min_contig_len as u64,
+                ],
+            )
+        } else {
+            0
+        },
+        prefix_valid: opts.resume,
+    };
+
+    // ---- Jellyfish ----
+    // Counting is embarrassingly parallel over read batches (Jellyfish's
+    // lock-free table); time per-batch costs and replay the 16-thread
+    // makespan, then merge serially (measured). A valid checkpoint skips
+    // all of it and replays the recorded duration.
+    let (counts, jelly_time, jelly_sim) = match ctl.resume(&metrics, "Jellyfish") {
+        Some(ck) => {
+            let counts =
+                ckpt::decode_counts(&ck.payload).expect("validated Jellyfish checkpoint decodes");
+            (counts, ck.duration, None)
+        }
+        None => {
+            let batches: Vec<&[Record]> = reads.chunks(256).collect();
+            let (tables, costs) = parallel_map_timed(&batches, |batch| {
+                count_kmers(
+                    batch,
+                    CounterConfig {
+                        k,
+                        canonical: true,
+                        threads: 1,
+                        shards: 1,
+                    },
+                )
+            });
+            let count_sim = simulate_loop(&costs, cfg.chrysalis.threads, cfg.chrysalis.schedule);
+            let count_time = count_sim.makespan;
+            let t0 = std::time::Instant::now();
+            let mut counts = kcount::counter::KmerCounts::empty(k);
+            for t in tables {
+                for (km, c) in t.iter() {
+                    counts.add(km, c);
+                }
+            }
+            counts.retain_min(cfg.min_kmer_count.max(1));
+            let merge_time = t0.elapsed().as_secs_f64();
+            (counts, count_time + merge_time, Some(count_sim))
+        }
+    };
+    let distinct = counts.len();
+    counts.record_metrics(&metrics, "jellyfish");
+    let start = log.push("Jellyfish", jelly_time, ram::jellyfish(distinct));
+    if let Some(sim) = &jelly_sim {
+        sim.record_metrics(&metrics, "jellyfish.loop");
+        sim.record_spans(&log.obs, start, obs::THREAD_TRACK_BASE, "jellyfish");
+        ctl.save(
+            &metrics,
+            "Jellyfish",
+            jelly_time,
+            &ckpt::encode_counts(&counts),
+        );
+    }
+
+    // ---- Inchworm ----
+    let (contigs, inch_time, inch_computed) = match ctl.resume(&metrics, "Inchworm") {
+        Some(ck) => (
+            ckpt::decode_records(&ck.payload).expect("validated Inchworm checkpoint decodes"),
+            ck.duration,
+            false,
+        ),
+        None => {
+            let t0 = std::time::Instant::now();
+            let dict = Dictionary::from_counts(counts.clone(), cfg.min_kmer_count.max(1));
+            let contig_list = assemble(&dict, cfg.inchworm);
+            let contigs: Vec<Record> = contig_list.iter().map(|c| c.to_record()).collect();
+            (contigs, t0.elapsed().as_secs_f64(), true)
+        }
+    };
+    let contig_bytes: usize = contigs.iter().map(|c| c.seq.len()).sum();
+    log.push("Inchworm", inch_time, ram::inchworm(distinct, contig_bytes));
+    if inch_computed {
+        ctl.save(
+            &metrics,
+            "Inchworm",
+            inch_time,
+            &ckpt::encode_records(&contigs),
+        );
+    }
+
+    // ---- Chrysalis: Bowtie ----
+    // Not checkpointed: its artifact (the SAM stream) only feeds
+    // scaffolding, whose result is checkpointed at QuantifyGraph.
     let contigs_arc = Arc::new(contigs);
     let reads_arc = Arc::new(reads.to_vec());
     let (c_arc, r_arc, ch_cfg, al_cfg) = (
@@ -302,123 +499,224 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
         cfg.chrysalis,
         cfg.align,
     );
-    let bowtie_outs = run_cluster(ranks, net, move |comm| {
-        bowtie_mpi(comm, &c_arc, &r_arc, &ch_cfg, al_cfg)
-    });
+    let bowtie_run =
+        run_cluster_resilient(ranks, net, opts.faults.as_ref(), &metrics, move |comm| {
+            bowtie_mpi(comm, &c_arc, &r_arc, &ch_cfg, al_cfg)
+        });
+    let bowtie_outs = bowtie_run.outs;
     let bowtie_out: &BowtieMpiOutput = &bowtie_outs[0].value;
     let read_buffer: usize = reads.iter().map(|r| r.seq.len()).sum();
     let start = log.push(
         "Bowtie",
-        max_time(&bowtie_outs),
+        bowtie_run.time,
         ram::bowtie(contig_bytes.div_ceil(ranks), read_buffer),
     );
     record_cluster(&metrics, &mut sub_traces, start, &bowtie_outs);
+    for t in bowtie_run.aborted_traces {
+        sub_traces.push((start, t));
+    }
     let bowtie_timings: Vec<BowtieTimings> = bowtie_outs.iter().map(|o| o.value.timings).collect();
     let sam = bowtie_out.sam.clone();
 
     // ---- Chrysalis: GraphFromFasta ----
-    let gff_shared = Arc::new(GffShared::prepare(
-        contigs_arc.as_ref().clone(),
-        counts,
-        cfg.chrysalis,
-    ));
-    gff_shared.kmap.record_metrics(&metrics, "gff.kmap");
-    let (mut gff_out, gff_timings, gff_time): (GffOutput, Vec<GffTimings>, f64) = if ranks == 1 {
-        let out = gff_shared_memory(&gff_shared);
-        let t = out.timings;
-        let total = t.total;
-        (out, vec![t], total)
-    } else {
-        let sh = Arc::clone(&gff_shared);
-        let outs = run_cluster(ranks, net, move |comm| gff_hybrid(comm, &sh));
-        let timings: Vec<GffTimings> = outs.iter().map(|o| o.value.timings).collect();
-        let time = max_time(&outs);
-        let mut first = None;
-        let mut ranked = Vec::new();
-        for o in outs {
-            metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
-            metrics.counter("comm.collectives").add(o.stats.collectives);
-            ranked.push(o.trace);
-            if first.is_none() {
-                first = Some(o.value);
+    let (welds, gff_pairs, gff_trace, gff_time, gff_timings, kmap_entries, gff_computed) = match ctl
+        .resume(&metrics, "GraphFromFasta")
+    {
+        Some(ck) => {
+            let (welds, pairs) = ckpt::decode_welds(&ck.payload)
+                .expect("validated GraphFromFasta checkpoint decodes");
+            (
+                welds,
+                pairs,
+                obs::Trace::default(),
+                ck.duration,
+                Vec::new(),
+                0usize,
+                false,
+            )
+        }
+        None => {
+            let gff_shared = Arc::new(GffShared::prepare(
+                contigs_arc.as_ref().clone(),
+                counts,
+                cfg.chrysalis,
+            ));
+            gff_shared.kmap.record_metrics(&metrics, "gff.kmap");
+            let kmap_len = gff_shared.kmap.len();
+            let (mut gff_out, timings, time, aborted): (
+                GffOutput,
+                Vec<GffTimings>,
+                f64,
+                Vec<obs::Trace>,
+            ) = if ranks == 1 {
+                let out = gff_shared_memory(&gff_shared);
+                let t = out.timings;
+                let total = t.total;
+                (out, vec![t], total, Vec::new())
+            } else {
+                let sh = Arc::clone(&gff_shared);
+                let run = run_cluster_resilient(ranks, net, opts.faults.as_ref(), &metrics, {
+                    move |comm| gff_hybrid(comm, &sh)
+                });
+                let timings: Vec<GffTimings> = run.outs.iter().map(|o| o.value.timings).collect();
+                let time = run.time;
+                let mut first = None;
+                let mut ranked = Vec::new();
+                for o in run.outs {
+                    metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
+                    metrics.counter("comm.collectives").add(o.stats.collectives);
+                    ranked.push(o.trace);
+                    if first.is_none() {
+                        first = Some(o.value);
+                    }
+                }
+                let mut out = first.expect("rank 0");
+                // Stash the merged per-rank spans in the stage output's
+                // trace slot so the splice below handles serial and
+                // hybrid uniformly.
+                for t in ranked {
+                    out.trace.merge_shifted(t, 0.0, 0);
+                }
+                (out, timings, time, run.aborted_traces)
+            };
+            let mut trace = std::mem::take(&mut gff_out.trace);
+            for t in aborted {
+                trace.merge_shifted(t, 0.0, 0);
             }
+            (
+                gff_out.welds,
+                gff_out.pairs,
+                trace,
+                time,
+                timings,
+                kmap_len,
+                true,
+            )
         }
-        let mut out = first.expect("rank 0");
-        // Stash the merged per-rank spans in the stage output's trace slot
-        // so the splice below handles serial and hybrid uniformly.
-        for t in ranked {
-            out.trace.merge_shifted(t, 0.0, 0);
-        }
-        (out, timings, time)
     };
-    let weld_bytes: usize = gff_out.welds.iter().map(Vec::len).sum();
-    metrics.counter("gff.welds").add(gff_out.welds.len() as u64);
-    metrics.counter("gff.pairs").add(gff_out.pairs.len() as u64);
+    let weld_bytes: usize = welds.iter().map(Vec::len).sum();
+    metrics.counter("gff.welds").add(welds.len() as u64);
+    metrics.counter("gff.pairs").add(gff_pairs.len() as u64);
     let start = log.push(
         "GraphFromFasta",
         gff_time,
-        ram::graph_from_fasta(contig_bytes, gff_shared.kmap.len(), weld_bytes),
+        ram::graph_from_fasta(contig_bytes, kmap_entries, weld_bytes),
     );
-    sub_traces.push((start, std::mem::take(&mut gff_out.trace)));
+    sub_traces.push((start, gff_trace));
+    if gff_computed {
+        ctl.save(
+            &metrics,
+            "GraphFromFasta",
+            gff_time,
+            &ckpt::encode_welds(&welds, &gff_pairs),
+        );
+    }
 
     // ---- Chrysalis: scaffolding (combine Bowtie links with welds) ----
-    let t0 = std::time::Instant::now();
-    let name_index = contig_name_index(&contigs_arc);
-    let lens: Vec<usize> = contigs_arc.iter().map(|c| c.seq.len()).collect();
-    let scaf_pairs = scaffold_pairs(&sam, &name_index, &lens, cfg.scaffold);
-    let mut all_pairs = gff_out.pairs.clone();
-    all_pairs.extend(scaf_pairs);
-    all_pairs.sort_unstable();
-    all_pairs.dedup();
-    let (_, components) = cluster(contigs_arc.len(), &all_pairs);
+    let (components, quant_time, quant_computed) = match ctl.resume(&metrics, "QuantifyGraph") {
+        Some(ck) => (
+            ckpt::decode_components(&ck.payload)
+                .expect("validated QuantifyGraph checkpoint decodes"),
+            ck.duration,
+            false,
+        ),
+        None => {
+            let t0 = std::time::Instant::now();
+            let name_index = contig_name_index(&contigs_arc);
+            let lens: Vec<usize> = contigs_arc.iter().map(|c| c.seq.len()).collect();
+            let scaf_pairs = scaffold_pairs(&sam, &name_index, &lens, cfg.scaffold);
+            let mut all_pairs = gff_pairs.clone();
+            all_pairs.extend(scaf_pairs);
+            all_pairs.sort_unstable();
+            all_pairs.dedup();
+            let (_, components) = cluster(contigs_arc.len(), &all_pairs);
+            (components, t0.elapsed().as_secs_f64(), true)
+        }
+    };
     metrics
         .gauge("pipeline.components")
         .set(components.len() as f64);
     log.push(
         "QuantifyGraph",
-        t0.elapsed().as_secs_f64(),
+        quant_time,
         ram::graph_from_fasta(contig_bytes, 0, weld_bytes),
     );
+    if quant_computed {
+        ctl.save(
+            &metrics,
+            "QuantifyGraph",
+            quant_time,
+            &ckpt::encode_components(&components),
+        );
+    }
 
     // ---- Chrysalis: ReadsToTranscripts ----
-    let rtt_shared = Arc::new(RttShared::prepare(
-        reads.to_vec(),
-        &contigs_arc,
-        &components,
-        cfg.chrysalis,
-    ));
-    rtt_shared
-        .kmer_to_component
-        .record_metrics(&metrics, "rtt.kmer_table");
-    let (mut rtt_out, rtt_timings, rtt_time): (RttOutput, Vec<RttTimings>, f64) = if ranks == 1 {
-        let out = rtt_shared_memory(&rtt_shared);
-        let t = out.timings;
-        let total = t.total;
-        (out, vec![t], total)
-    } else {
-        let sh = Arc::clone(&rtt_shared);
-        let outs = run_cluster(ranks, net, move |comm| rtt_hybrid(comm, &sh));
-        let timings: Vec<RttTimings> = outs.iter().map(|o| o.value.timings).collect();
-        let time = max_time(&outs);
-        let mut first = None;
-        let mut ranked = Vec::new();
-        for o in outs {
-            metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
-            metrics.counter("comm.collectives").add(o.stats.collectives);
-            ranked.push(o.trace);
-            if first.is_none() {
-                first = Some(o.value);
+    let (assignments, rtt_time, rtt_timings, rtt_trace, rtt_table_entries, rtt_computed) = match ctl
+        .resume(&metrics, "ReadsToTranscripts")
+    {
+        Some(ck) => (
+            ckpt::decode_pairs(&ck.payload)
+                .expect("validated ReadsToTranscripts checkpoint decodes"),
+            ck.duration,
+            Vec::new(),
+            obs::Trace::default(),
+            0usize,
+            false,
+        ),
+        None => {
+            let rtt_shared = Arc::new(RttShared::prepare(
+                reads.to_vec(),
+                &contigs_arc,
+                &components,
+                cfg.chrysalis,
+            ));
+            rtt_shared
+                .kmer_to_component
+                .record_metrics(&metrics, "rtt.kmer_table");
+            let entries = rtt_shared.kmer_to_component.len();
+            let (mut rtt_out, timings, time, aborted): (
+                RttOutput,
+                Vec<RttTimings>,
+                f64,
+                Vec<obs::Trace>,
+            ) = if ranks == 1 {
+                let out = rtt_shared_memory(&rtt_shared);
+                let t = out.timings;
+                let total = t.total;
+                (out, vec![t], total, Vec::new())
+            } else {
+                let sh = Arc::clone(&rtt_shared);
+                let run = run_cluster_resilient(ranks, net, opts.faults.as_ref(), &metrics, {
+                    move |comm| rtt_hybrid(comm, &sh)
+                });
+                let timings: Vec<RttTimings> = run.outs.iter().map(|o| o.value.timings).collect();
+                let time = run.time;
+                let mut first = None;
+                let mut ranked = Vec::new();
+                for o in run.outs {
+                    metrics.counter("comm.bytes_sent").add(o.stats.bytes_sent);
+                    metrics.counter("comm.collectives").add(o.stats.collectives);
+                    ranked.push(o.trace);
+                    if first.is_none() {
+                        first = Some(o.value);
+                    }
+                }
+                let mut out = first.expect("rank 0");
+                for t in ranked {
+                    out.trace.merge_shifted(t, 0.0, 0);
+                }
+                (out, timings, time, run.aborted_traces)
+            };
+            let mut trace = std::mem::take(&mut rtt_out.trace);
+            for t in aborted {
+                trace.merge_shifted(t, 0.0, 0);
             }
+            (rtt_out.assignments, time, timings, trace, entries, true)
         }
-        let mut out = first.expect("rank 0");
-        for t in ranked {
-            out.trace.merge_shifted(t, 0.0, 0);
-        }
-        (out, timings, time)
     };
     metrics
         .counter("rtt.assignments")
-        .add(rtt_out.assignments.len() as u64);
+        .add(assignments.len() as u64);
     let chunk_bytes: usize = reads
         .iter()
         .take(cfg.chrysalis.max_mem_reads)
@@ -427,9 +725,17 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     let start = log.push(
         "ReadsToTranscripts",
         rtt_time,
-        ram::reads_to_transcripts(rtt_shared.kmer_to_component.len(), chunk_bytes),
+        ram::reads_to_transcripts(rtt_table_entries, chunk_bytes),
     );
-    sub_traces.push((start, std::mem::take(&mut rtt_out.trace)));
+    sub_traces.push((start, rtt_trace));
+    if rtt_computed {
+        ctl.save(
+            &metrics,
+            "ReadsToTranscripts",
+            rtt_time,
+            &ckpt::encode_pairs(&assignments),
+        );
+    }
 
     // ---- Butterfly ----
     let mut comp_inputs: Vec<ComponentInput> = components
@@ -444,7 +750,7 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
             reads: Vec::new(),
         })
         .collect();
-    for &(r, c) in &rtt_out.assignments {
+    for &(r, c) in &assignments {
         comp_inputs[c as usize]
             .reads
             .push(reads[r as usize].seq.clone());
@@ -493,7 +799,7 @@ pub fn run_pipeline(reads: &[Record], cfg: &PipelineConfig) -> PipelineOutput {
     PipelineOutput {
         contigs: Arc::try_unwrap(contigs_arc).unwrap_or_else(|a| a.as_ref().clone()),
         components,
-        assignments: rtt_out.assignments,
+        assignments,
         transcripts,
         trace,
         metrics: metrics.snapshot(),

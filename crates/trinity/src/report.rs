@@ -98,9 +98,57 @@ pub fn render_self_time(trace: &Trace, limit: usize) -> String {
     out
 }
 
+/// Render the fault-injection / recovery summary from a run's metrics:
+/// injected delays and retransmissions, rank crashes and stage replays,
+/// checkpoint writes/resumes. Returns an empty string for a fault-free,
+/// checkpoint-less run so callers can append it unconditionally.
+pub fn render_faults(metrics: &obs::MetricsSnapshot) -> String {
+    let rows = [
+        ("fault.delays", "message delays injected"),
+        ("fault.retries", "dropped messages retransmitted"),
+        ("fault.rank_crashes", "rank crashes"),
+        ("fault.replays", "stage replays after a crash"),
+        ("ckpt.saved", "checkpoints written"),
+        ("ckpt.resumed", "stages resumed from checkpoint"),
+        ("ckpt.invalid", "corrupt checkpoints recomputed"),
+    ];
+    let mut body = String::new();
+    for (name, label) in rows {
+        if let Some(v) = metrics.counter(name).filter(|&v| v > 0) {
+            body.push_str(&format!("{label:<36} {v:>8}\n"));
+        }
+    }
+    if body.is_empty() {
+        String::new()
+    } else {
+        format!("fault injection & recovery\n{body}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_faults_empty_for_clean_run() {
+        let metrics = obs::MetricsRegistry::new();
+        metrics.counter("comm.bytes_sent").add(100);
+        assert_eq!(render_faults(&metrics.snapshot()), "");
+    }
+
+    #[test]
+    fn render_faults_lists_nonzero_counters() {
+        let metrics = obs::MetricsRegistry::new();
+        metrics.counter("fault.retries").add(7);
+        metrics.counter("fault.rank_crashes").add(1);
+        metrics.counter("ckpt.resumed").add(3);
+        let s = render_faults(&metrics.snapshot());
+        assert!(s.contains("dropped messages retransmitted"));
+        assert!(s.contains('7'));
+        assert!(s.contains("rank crashes"));
+        assert!(s.contains("stages resumed from checkpoint"));
+        assert!(!s.contains("delays"), "zero counters are omitted");
+    }
 
     fn trace() -> Trace {
         let obs = obs::Tracer::new();

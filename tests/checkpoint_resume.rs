@@ -1,0 +1,179 @@
+//! Checkpoint/resume round trips through the real pipeline: a seeded run
+//! writes one checkpoint per checkpointable stage, a resume run replays
+//! the completed prefix byte-for-byte, and a corrupted checkpoint —
+//! *any* stage, any byte — is detected by its checksum, recomputed, and
+//! rewritten, never silently trusted.
+
+mod common;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use trinity::checkpoint::stage_path;
+use trinity::pipeline::{run_pipeline_opts, PipelineConfig, PipelineOutput, RunOptions};
+
+/// The checkpointable stages, in pipeline order. Bowtie is deliberately
+/// absent: its SAM stream only feeds scaffolding, whose result is
+/// checkpointed at QuantifyGraph.
+const STAGES: [&str; 5] = [
+    "Jellyfish",
+    "Inchworm",
+    "GraphFromFasta",
+    "QuantifyGraph",
+    "ReadsToTranscripts",
+];
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "trinity-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(reads: &[seqio::fasta::Record], dir: &Path, resume: bool) -> PipelineOutput {
+    let opts = RunOptions {
+        faults: None,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        resume,
+    };
+    run_pipeline_opts(reads, &PipelineConfig::small(12), &opts)
+}
+
+fn count(out: &PipelineOutput, name: &str) -> u64 {
+    out.metrics.counter(name).unwrap_or(0)
+}
+
+fn stage_duration(out: &PipelineOutput, stage: &str) -> f64 {
+    out.trace
+        .with_cat("stage")
+        .into_iter()
+        .filter(|s| s.track == 0 && s.name == stage)
+        .map(|s| s.end - s.start)
+        .sum()
+}
+
+#[test]
+fn full_round_trip_resumes_every_stage() {
+    let reads = common::tiny_reads(common::CHAOS_WORKLOAD_SEED);
+    let dir = ScratchDir::new("roundtrip");
+    let seeded = run(&reads, dir.path(), false);
+    assert_eq!(count(&seeded, "ckpt.saved"), STAGES.len() as u64);
+    for stage in STAGES {
+        assert!(
+            stage_path(dir.path(), stage).is_file(),
+            "{stage} checkpoint on disk"
+        );
+    }
+
+    let resumed = run(&reads, dir.path(), true);
+    assert_eq!(count(&resumed, "ckpt.resumed"), STAGES.len() as u64);
+    assert_eq!(count(&resumed, "ckpt.saved"), 0, "nothing recomputed");
+    assert_eq!(count(&resumed, "ckpt.invalid"), 0);
+    assert_eq!(common::artifacts(&resumed), common::artifacts(&seeded));
+    // A resumed stage replays its recorded duration, so the wall-clock-
+    // measured stages stop being a source of trace jitter. (Comparison is
+    // to ulp-level tolerance, not bits: stage *starts* shift by the
+    // recomputed — wall-measured — Bowtie stage between the runs.)
+    for stage in STAGES {
+        let (a, b) = (
+            stage_duration(&seeded, stage),
+            stage_duration(&resumed, stage),
+        );
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1e-12),
+            "{stage} duration replayed ({a} vs {b})"
+        );
+    }
+    // Timings for resumed Chrysalis stages are empty by contract.
+    assert!(resumed.gff_timings.is_empty());
+    assert!(resumed.rtt_timings.is_empty());
+}
+
+#[test]
+fn resume_into_empty_dir_is_a_seeding_run() {
+    let reads = common::tiny_reads(common::CHAOS_WORKLOAD_SEED);
+    let dir = ScratchDir::new("empty");
+    let out = run(&reads, dir.path(), true);
+    // Missing checkpoints are the normal "nothing completed yet" case:
+    // not an error, not counted as corruption — just compute and save.
+    assert_eq!(count(&out, "ckpt.resumed"), 0);
+    assert_eq!(count(&out, "ckpt.invalid"), 0);
+    assert_eq!(count(&out, "ckpt.saved"), STAGES.len() as u64);
+}
+
+#[test]
+fn corrupting_any_stage_is_detected_and_recomputed() {
+    let reads = common::tiny_reads(common::CHAOS_WORKLOAD_SEED);
+    let baseline = common::artifacts(&run(&reads, ScratchDir::new("corrupt-base").path(), false));
+    for (idx, stage) in STAGES.iter().enumerate() {
+        let dir = ScratchDir::new("corrupt");
+        run(&reads, dir.path(), false);
+        // Flip one mid-file byte. The trailing FNV checksum covers every
+        // preceding byte, so any single-byte change must be rejected.
+        let path = stage_path(dir.path(), stage);
+        let mut bytes = std::fs::read(&path).expect("read checkpoint");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corrupted checkpoint");
+
+        let resumed = run(&reads, dir.path(), true);
+        assert_eq!(
+            count(&resumed, "ckpt.invalid"),
+            1,
+            "{stage}: corruption detected"
+        );
+        // Completed-prefix semantics: stages before the corrupt one
+        // resume; it and everything after recompute and rewrite.
+        assert_eq!(count(&resumed, "ckpt.resumed"), idx as u64, "{stage}");
+        assert_eq!(
+            count(&resumed, "ckpt.saved"),
+            (STAGES.len() - idx) as u64,
+            "{stage}: corrupt suffix rewritten"
+        );
+        assert_eq!(
+            common::artifacts(&resumed),
+            baseline,
+            "{stage}: recompute restores the fault-free artifacts"
+        );
+        // The rewrite repaired the file: a further resume is clean.
+        let repaired = run(&reads, dir.path(), true);
+        assert_eq!(count(&repaired, "ckpt.resumed"), STAGES.len() as u64);
+        assert_eq!(count(&repaired, "ckpt.invalid"), 0);
+    }
+}
+
+#[test]
+fn fingerprint_rejects_checkpoints_from_another_run() {
+    // Checkpoints are bound to (reads, config): resuming against a
+    // different read set must ignore every stale file rather than serve
+    // the wrong assembly.
+    let reads_a = common::tiny_reads(common::CHAOS_WORKLOAD_SEED);
+    let reads_b = common::tiny_reads(common::CHAOS_WORKLOAD_SEED + 1);
+    let dir = ScratchDir::new("fingerprint");
+    run(&reads_a, dir.path(), false);
+
+    let fresh_b = run_pipeline_opts(&reads_b, &PipelineConfig::small(12), &RunOptions::default());
+    let resumed_b = run(&reads_b, dir.path(), true);
+    assert_eq!(count(&resumed_b, "ckpt.resumed"), 0, "stale prefix refused");
+    assert!(count(&resumed_b, "ckpt.invalid") >= 1);
+    assert_eq!(common::artifacts(&resumed_b), common::artifacts(&fresh_b));
+}

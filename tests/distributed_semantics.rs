@@ -2,6 +2,8 @@
 //! substrate, the chunked round-robin distribution, and the Chrysalis
 //! stages composed the way `Trinity.pl` composes them.
 
+mod common;
+
 use std::sync::Arc;
 
 use bowtie::align::AlignConfig;
@@ -21,7 +23,7 @@ fn workload() -> (
     kcount::counter::KmerCounts,
     ChrysalisConfig,
 ) {
-    let ds = Dataset::generate(DatasetPreset::Tiny, 5);
+    let ds = Dataset::generate(DatasetPreset::Tiny, common::WORKLOAD_SEED);
     let reads = ds.all_reads();
     let cfg = ChrysalisConfig::small(12);
     // Assemble contigs with Inchworm.
@@ -112,6 +114,28 @@ fn rank_counts_beyond_work_degrade_gracefully() {
     });
     let gmany = Arc::clone(&gff_shared);
     let many = run_cluster(n_contigs + 5, NetModel::ideal(), move |comm| {
+        // The pooling contract idle ranks rely on: `allgatherv` is
+        // positional. A rank with nothing to say contributes a
+        // *zero-length* part — never an absent one — and every rank
+        // receives exactly `size` entries, so indexing the pooled vector
+        // by rank stays aligned however many ranks sit idle.
+        let mine: Vec<u8> = if comm.rank() < n_contigs {
+            vec![comm.rank() as u8; 3]
+        } else {
+            Vec::new()
+        };
+        let parts = comm.allgatherv(&mine);
+        assert_eq!(parts.len(), comm.size(), "one entry per rank, always");
+        for (r, part) in parts.iter().enumerate() {
+            if r < n_contigs {
+                assert_eq!(part, &vec![r as u8; 3], "busy rank {r} part intact");
+            } else {
+                assert!(
+                    part.is_empty(),
+                    "idle rank {r} contributes zero-length, not absent"
+                );
+            }
+        }
         gff_hybrid(comm, &gmany).pairs
     });
     assert_eq!(one[0].value, many[0].value);

@@ -3,13 +3,12 @@
 //! claim (§IV), checked exactly (same seeds → same partition-invariant
 //! output) rather than statistically.
 
+mod common;
+
 use mpisim::NetModel;
-use simulate::datasets::{Dataset, DatasetPreset};
 use trinity::pipeline::{run_pipeline, PipelineConfig, PipelineMode, PipelineOutput};
 
-fn tiny(seed: u64) -> Vec<seqio::fasta::Record> {
-    Dataset::generate(DatasetPreset::Tiny, seed).all_reads()
-}
+use common::tiny_reads as tiny;
 
 fn run(reads: &[seqio::fasta::Record], mode: PipelineMode) -> PipelineOutput {
     let mut cfg = PipelineConfig::small(12);
@@ -25,7 +24,7 @@ fn sorted_seqs(out: &PipelineOutput) -> Vec<Vec<u8>> {
 
 #[test]
 fn hybrid_equals_serial_across_rank_counts() {
-    let reads = tiny(17);
+    let reads = tiny(common::EQUIVALENCE_SEED);
     let serial = run(&reads, PipelineMode::Serial);
     for ranks in [2usize, 3, 5, 8] {
         let hybrid = run(
@@ -43,7 +42,7 @@ fn hybrid_equals_serial_across_rank_counts() {
 
 #[test]
 fn pipeline_is_deterministic() {
-    let reads = tiny(23);
+    let reads = tiny(common::DETERMINISM_SEED);
     let a = run(&reads, PipelineMode::Serial);
     let b = run(&reads, PipelineMode::Serial);
     assert_eq!(a.components, b.components);
@@ -52,7 +51,7 @@ fn pipeline_is_deterministic() {
 
 #[test]
 fn network_model_changes_time_not_output() {
-    let reads = tiny(29);
+    let reads = tiny(common::NET_MODEL_SEED);
     let fast = run(
         &reads,
         PipelineMode::Hybrid {
@@ -79,7 +78,7 @@ fn jitter_emulates_run_to_run_variation() {
     // Trinity's output is "slightly indeterministic" across runs; the
     // jitter seed reproduces that: different seeds may differ, same seed
     // never does.
-    let reads = tiny(31);
+    let reads = tiny(common::JITTER_SEED);
     let mut cfg = PipelineConfig::small(12);
     cfg.inchworm.jitter_seed = Some(1);
     let a = run_pipeline(&reads, &cfg);
@@ -89,7 +88,7 @@ fn jitter_emulates_run_to_run_variation() {
 
 #[test]
 fn stage_trace_covers_whole_pipeline() {
-    let reads = tiny(37);
+    let reads = tiny(common::TRACE_SEED);
     let out = run(&reads, PipelineMode::Serial);
     let mut stages: Vec<&obs::SpanRecord> = out
         .trace

@@ -55,6 +55,8 @@ pub mod channel {
     pub type SendError<T> = mpsc::SendError<T>;
     /// Error returned when all senders are gone and the queue is drained.
     pub type RecvError = mpsc::RecvError;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub type RecvTimeoutError = mpsc::RecvTimeoutError;
 
     impl<T> Sender<T> {
         /// Enqueue a message; fails only if the receiver was dropped.
@@ -75,6 +77,11 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Block for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 
