@@ -36,6 +36,7 @@ fn fixtures() -> (Vec<Record>, kcount::counter::KmerCounts, ChrysalisConfig) {
 
 fn bench(c: &mut Criterion) {
     let (contigs, counts, cfg) = fixtures();
+    let contigs = seqio::packed::encode_all(&contigs);
     let kmap = KmerContigMap::build(&contigs, cfg.k);
     let support = WeldSupport::new(&counts, cfg.min_weld_support);
 

@@ -1,0 +1,327 @@
+//! Head-to-head: the pre-rolling inner loops (ASCII windows with an O(k)
+//! reverse-complement per position) vs the rolling canonical streams over
+//! 2-bit packed sequences, on the three hot-path shapes the rewrite
+//! touched — k-mer counting, ReadsToTranscripts assignment and the weld
+//! support scan.
+//!
+//! Run with `cargo bench --bench hotloops`; a custom `main` writes the
+//! measured before/after pairs to `BENCH_hotloops.json` at the workspace
+//! root so the speedup table in README.md stays reproducible. Under
+//! `cargo test` the harness runs in smoke mode (each closure once,
+//! unmeasured) and the JSON is left untouched. `HOTLOOPS_SAMPLES` overrides
+//! the per-benchmark sample count (CI's bench-smoke job sets a small one).
+
+use criterion::{black_box, Criterion};
+
+use chrysalis::config::ChrysalisConfig;
+use chrysalis::weld::{WeldSupport, WeldWindow};
+use kcount::counter::KmerCounts;
+use kmertable::PackedKmerTable;
+use seqio::alphabet::base_to_code;
+use seqio::fasta::Record;
+use seqio::packed::PackedSeq;
+use simulate::datasets::{Dataset, DatasetPreset};
+
+const K: usize = 24;
+
+/// The pre-rolling discipline, reimplemented locally so the comparison
+/// survives the rewrite: roll the forward word one base at a time, but
+/// rebuild the reverse complement from scratch for every window — the O(k)
+/// per-position cost `Kmer::canonical()` used to pay.
+fn naive_stream(seq: &[u8], k: usize, mut emit: impl FnMut(u64)) {
+    let mask = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
+    let mut fwd = 0u64;
+    let mut filled = 0usize;
+    for &b in seq {
+        match base_to_code(b) {
+            Some(c) => {
+                fwd = ((fwd << 2) | c as u64) & mask;
+                filled += 1;
+            }
+            None => {
+                filled = 0;
+                fwd = 0;
+            }
+        }
+        if filled >= k {
+            let mut rc = 0u64;
+            for i in 0..k {
+                rc = (rc << 2) | (3 - ((fwd >> (2 * i)) & 3));
+            }
+            emit(fwd.min(rc));
+        }
+    }
+}
+
+/// Naive per-read component vote: ASCII scan, O(k) canonical per window,
+/// heap-allocated tally — the shape `RttShared::assign` had before the
+/// rolling/packed rewrite.
+fn naive_assign(table: &PackedKmerTable, min: u32, k: usize, read: &[u8]) -> Option<u32> {
+    let mut votes: Vec<(u32, u32)> = Vec::new();
+    naive_stream(read, k, |p| {
+        if let Some(c) = table.get(p) {
+            match votes.iter_mut().find(|(vc, _)| *vc == c) {
+                Some(v) => v.1 += 1,
+                None => votes.push((c, 1)),
+            }
+        }
+    });
+    let mut best: Option<(u32, u32)> = None;
+    for &(c, n) in &votes {
+        if n < min {
+            continue;
+        }
+        let better = match best {
+            Some((bc, bn)) => n > bn || (n == bn && c < bc),
+            None => true,
+        };
+        if better {
+            best = Some((c, n));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Naive weld support probe: ASCII window, O(k) canonical per k-window.
+fn naive_supports(counts: &KmerCounts, min: u32, k: usize, w: &[u8]) -> bool {
+    if w.len() < k {
+        return false;
+    }
+    let mut any = true;
+    let mut seen = false;
+    naive_stream(w, k, |p| {
+        seen = true;
+        if counts.get_packed(p) < min {
+            any = false;
+        }
+    });
+    seen && any
+}
+
+struct Fixtures {
+    reads: Vec<Record>,
+    packed_reads: Vec<PackedSeq>,
+    counts: KmerCounts,
+    rtt: std::sync::Arc<chrysalis::reads_to_transcripts::RttShared>,
+    byte_windows: Vec<Vec<u8>>,
+    weld_windows: Vec<WeldWindow>,
+    cfg: ChrysalisConfig,
+}
+
+fn fixtures() -> Fixtures {
+    let reads = Dataset::generate(DatasetPreset::Tiny, 7).all_reads();
+    let packed_reads = seqio::packed::encode_all(&reads);
+    let cfg = ChrysalisConfig::small(16);
+
+    let counts = kcount::counter::count_kmers(&reads, kcount::counter::CounterConfig::new(cfg.k));
+    let dict = inchworm::dictionary::Dictionary::from_counts(counts.clone(), 1);
+    let contigs: Vec<Record> = inchworm::assemble::assemble(
+        &dict,
+        inchworm::assemble::InchwormConfig {
+            min_seed_count: 1,
+            min_extend_count: 1,
+            min_contig_len: 32,
+            jitter_seed: None,
+        },
+    )
+    .iter()
+    .map(|c| c.to_record())
+    .collect();
+    let packed_contigs = seqio::packed::encode_all(&contigs);
+    let gff = chrysalis::graph_from_fasta::gff_shared_memory(
+        &chrysalis::graph_from_fasta::GffShared::prepare(
+            packed_contigs.clone(),
+            counts.clone(),
+            cfg,
+        ),
+    );
+    let rtt = std::sync::Arc::new(chrysalis::reads_to_transcripts::RttShared::prepare(
+        reads.clone(),
+        &packed_contigs,
+        &gff.components,
+        cfg,
+    ));
+
+    // Weld-shaped windows (2k long, k/2 stride) over the contigs, carried
+    // both as ASCII bytes (naive side) and incremental WeldWindows
+    // (rolling side) — the support-scan comparison isolates the probe loop.
+    let mut byte_windows = Vec::new();
+    let mut weld_windows = Vec::new();
+    for (c, p) in contigs.iter().zip(&packed_contigs) {
+        let w = 2 * cfg.k;
+        let mut start = 0;
+        while start + w <= c.seq.len() {
+            if p.range_valid(start, start + w) {
+                byte_windows.push(c.seq[start..start + w].to_vec());
+                let mut ww = WeldWindow::new();
+                for j in start..start + w {
+                    ww.push(p.code_at(j));
+                }
+                weld_windows.push(ww);
+            }
+            start += cfg.k / 2;
+        }
+    }
+
+    Fixtures {
+        reads,
+        packed_reads,
+        counts,
+        rtt,
+        byte_windows,
+        weld_windows,
+        cfg,
+    }
+}
+
+fn count_naive(reads: &[Record], k: usize) -> PackedKmerTable {
+    let mut t = PackedKmerTable::new();
+    for r in reads {
+        naive_stream(&r.seq, k, |p| t.add(p, 1));
+    }
+    t
+}
+
+fn count_rolling(reads: &[PackedSeq], k: usize) -> PackedKmerTable {
+    let mut t = PackedKmerTable::new();
+    for p in reads {
+        if let Ok(iter) = p.canonical_kmers(k) {
+            for (_, km) in iter {
+                t.add(km.packed(), 1);
+            }
+        }
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let f = fixtures();
+    let samples: usize = std::env::var("HOTLOOPS_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+
+    // Equivalence first: both sides of each workload must agree, or the
+    // timing comparison is meaningless.
+    let tn = count_naive(&f.reads, K);
+    let tr = count_rolling(&f.packed_reads, K);
+    assert_eq!(tn.len(), tr.len());
+    assert_eq!(
+        tn.iter().map(|(_, v)| v as u64).sum::<u64>(),
+        tr.iter().map(|(_, v)| v as u64).sum::<u64>()
+    );
+    let min = f.rtt.cfg.min_read_kmers.max(1) as u32;
+    for (r, p) in f.reads.iter().zip(&f.packed_reads) {
+        assert_eq!(
+            naive_assign(&f.rtt.kmer_to_component, min, f.cfg.k, &r.seq),
+            f.rtt.assign_packed(p)
+        );
+    }
+    let support = WeldSupport::new(&f.counts, f.cfg.min_weld_support);
+    for (b, w) in f.byte_windows.iter().zip(&f.weld_windows) {
+        assert_eq!(
+            naive_supports(&f.counts, f.cfg.min_weld_support.max(1), f.cfg.k, b),
+            support.supports_packed(w)
+        );
+    }
+
+    let mut g = c.benchmark_group("kmer_count");
+    g.sample_size(samples);
+    g.bench_function("naive", |b| b.iter(|| black_box(count_naive(&f.reads, K))));
+    g.bench_function("rolling", |b| {
+        b.iter(|| black_box(count_rolling(&f.packed_reads, K)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rtt_assign");
+    g.sample_size(samples);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for r in &f.reads {
+                if naive_assign(&f.rtt.kmer_to_component, min, f.cfg.k, &r.seq).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("rolling", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for p in &f.packed_reads {
+                if f.rtt.assign_packed(p).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("weld_scan");
+    g.sample_size(samples);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for w in &f.byte_windows {
+                if naive_supports(&f.counts, f.cfg.min_weld_support.max(1), f.cfg.k, w) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.bench_function("rolling", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for w in &f.weld_windows {
+                if support.supports_packed(w) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench(&mut criterion);
+
+    // Persist before/after pairs. Under `cargo test` the harness runs in
+    // smoke mode and every report is 0.0 s — skip writing in that case so a
+    // test run never clobbers real measurements.
+    let reports = criterion.reports();
+    if reports.iter().any(|r| r.seconds == 0.0) {
+        return;
+    }
+    let second_of = |id: &str| {
+        reports
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.seconds)
+            .unwrap_or(f64::NAN)
+    };
+    let mut out = String::from("{\n  \"k\": 24,\n  \"workloads\": [\n");
+    let groups = ["kmer_count", "rtt_assign", "weld_scan"];
+    for (i, group) in groups.iter().enumerate() {
+        let before = second_of(&format!("{group}/naive"));
+        let after = second_of(&format!("{group}/rolling"));
+        out.push_str(&format!(
+            "    {{\"workload\": \"{group}\", \"naive_s\": {before:.6e}, \
+             \"rolling_s\": {after:.6e}, \"speedup\": {:.3}}}{}\n",
+            before / after,
+            if i + 1 == groups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloops.json");
+    std::fs::write(path, out).expect("write BENCH_hotloops.json");
+    println!("wrote {path}");
+}

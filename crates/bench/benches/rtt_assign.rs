@@ -31,8 +31,14 @@ fn shared() -> Arc<RttShared> {
     .iter()
     .map(|c| c.to_record())
     .collect();
-    let gff = gff_shared_memory(&GffShared::prepare(contigs.clone(), counts, cfg));
-    Arc::new(RttShared::prepare(reads, &contigs, &gff.components, cfg))
+    let packed_contigs = seqio::packed::encode_all(&contigs);
+    let gff = gff_shared_memory(&GffShared::prepare(packed_contigs.clone(), counts, cfg));
+    Arc::new(RttShared::prepare(
+        reads,
+        &packed_contigs,
+        &gff.components,
+        cfg,
+    ))
 }
 
 fn bench(c: &mut Criterion) {

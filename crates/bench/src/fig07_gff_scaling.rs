@@ -49,7 +49,11 @@ pub fn prepare(seed: u64, scale: f64) -> Arc<GffShared> {
     let w = scaled(DatasetPreset::SugarbeetLike, seed, scale);
     let cfg = bench_pipeline_config();
     let (contigs, counts) = assemble_contigs(&w.reads, &cfg);
-    Arc::new(GffShared::prepare(contigs, counts, cfg.chrysalis))
+    Arc::new(GffShared::prepare(
+        seqio::packed::encode_all(&contigs),
+        counts,
+        cfg.chrysalis,
+    ))
 }
 
 /// Run the scaling sweep over `rank_counts`.

@@ -52,14 +52,15 @@ pub fn prepare(seed: u64, scale: f64) -> Arc<RttShared> {
     let w = scaled(DatasetPreset::SugarbeetLike, seed, scale);
     let cfg = bench_pipeline_config();
     let (contigs, counts) = assemble_contigs(&w.reads, &cfg);
+    let packed_contigs = seqio::packed::encode_all(&contigs);
     let gff = gff_shared_memory(&chrysalis::graph_from_fasta::GffShared::prepare(
-        contigs.clone(),
+        packed_contigs.clone(),
         counts,
         cfg.chrysalis,
     ));
     Arc::new(RttShared::prepare(
         w.reads,
-        &contigs,
+        &packed_contigs,
         &gff.components,
         cfg.chrysalis,
     ))

@@ -92,7 +92,7 @@ pub fn enumerate_paths(g: &DeBruijnGraph, cfg: PathConfig) -> Vec<Vec<u8>> {
         .into_iter()
         .map(|p| (g.path_weight(&p), p))
         .collect();
-    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let mut seqs: Vec<Vec<u8>> = Vec::new();
     for (_, p) in ranked {

@@ -1,6 +1,7 @@
 //! Drive path enumeration over every Chrysalis component.
 
 use seqio::fasta::Record;
+use seqio::packed::PackedSeq;
 
 use graph::debruijn::DeBruijnGraph;
 
@@ -8,14 +9,29 @@ use crate::paths::{enumerate_paths, PathConfig};
 
 /// One component's input to Butterfly: its clustered contigs and the reads
 /// ReadsToTranscripts assigned to it.
+///
+/// Sequences arrive pre-encoded as [`PackedSeq`]: the pipeline packs every
+/// read and contig once at ingest, and Butterfly's graph threading consumes
+/// the 2-bit form directly instead of re-decoding ASCII per component.
 #[derive(Debug, Clone, Default)]
 pub struct ComponentInput {
     /// Component id (dense, from Chrysalis).
     pub component: usize,
     /// The component's Inchworm contigs.
-    pub contigs: Vec<Vec<u8>>,
+    pub contigs: Vec<PackedSeq>,
     /// Reads assigned to this component (used as edge support).
-    pub reads: Vec<Vec<u8>>,
+    pub reads: Vec<PackedSeq>,
+}
+
+impl ComponentInput {
+    /// Build from byte sequences, encoding each once (test/CLI convenience).
+    pub fn from_bytes<S: AsRef<[u8]>>(component: usize, contigs: &[S], reads: &[S]) -> Self {
+        ComponentInput {
+            component,
+            contigs: seqio::packed::encode_all(contigs),
+            reads: seqio::packed::encode_all(reads),
+        }
+    }
 }
 
 /// Reconstruction parameters.
@@ -49,10 +65,10 @@ impl Default for ReconstructionConfig {
 pub fn reconstruct_component(input: &ComponentInput, cfg: ReconstructionConfig) -> Vec<Record> {
     let mut g = DeBruijnGraph::new(cfg.k);
     for contig in &input.contigs {
-        g.add_sequence(contig, cfg.contig_weight);
+        g.add_packed(contig, cfg.contig_weight);
     }
     for read in &input.reads {
-        g.add_sequence(read, 1);
+        g.add_packed(read, 1);
     }
     if cfg.min_edge_weight > 1 {
         g.prune_edges(cfg.min_edge_weight);
@@ -94,15 +110,12 @@ mod tests {
 
     #[test]
     fn single_contig_component() {
-        let input = ComponentInput {
-            component: 3,
-            contigs: vec![b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC".to_vec()],
-            reads: vec![],
-        };
+        let contig = b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC".to_vec();
+        let input = ComponentInput::from_bytes(3, std::slice::from_ref(&contig), &[]);
         let recs = reconstruct_component(&input, cfg(8, 10));
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].id, "comp3_seq0");
-        assert_eq!(recs[0].seq, input.contigs[0]);
+        assert_eq!(recs[0].seq, contig);
     }
 
     #[test]
@@ -113,11 +126,7 @@ mod tests {
         let c1 = full[..20].to_vec();
         let c2 = full[13..].to_vec();
         let junction_read = full[10..26].to_vec();
-        let input = ComponentInput {
-            component: 0,
-            contigs: vec![c1, c2],
-            reads: vec![junction_read],
-        };
+        let input = ComponentInput::from_bytes(0, &[c1, c2], &[junction_read]);
         let recs = reconstruct_component(&input, cfg(8, 20));
         assert!(
             recs.iter().any(|r| r.seq == full),
@@ -130,11 +139,7 @@ mod tests {
         let clean = b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC".to_vec();
         let mut noisy = clean.clone();
         noisy[16] = b'A'; // single erroneous read creates a bubble
-        let input = ComponentInput {
-            component: 0,
-            contigs: vec![clean.clone()],
-            reads: vec![noisy],
-        };
+        let input = ComponentInput::from_bytes(0, std::slice::from_ref(&clean), &[noisy]);
         // contig weight 2 + prune at 2 kills the weight-1 error branch.
         let recs = reconstruct_component(
             &input,
@@ -149,16 +154,8 @@ mod tests {
 
     #[test]
     fn multiple_components_concatenate() {
-        let a = ComponentInput {
-            component: 0,
-            contigs: vec![b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC".to_vec()],
-            reads: vec![],
-        };
-        let b = ComponentInput {
-            component: 1,
-            contigs: vec![b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG".to_vec()],
-            reads: vec![],
-        };
+        let a = ComponentInput::from_bytes(0, &[b"CGAGTCGGTTATCTTCGGATACTGTATAGTCC".to_vec()], &[]);
+        let b = ComponentInput::from_bytes(1, &[b"AAAGCGGCACTTGTGAAGTGTTCCCCACGCCG".to_vec()], &[]);
         let recs = reconstruct(&[a, b], cfg(8, 10));
         assert_eq!(recs.len(), 2);
         assert!(recs[0].id.starts_with("comp0"));
@@ -178,11 +175,7 @@ mod tests {
         iso2.extend_from_slice(&iso1[..12]);
         iso2.extend_from_slice(b"AAAGCGGCACTTGTGAAGTG");
         iso2.extend_from_slice(&iso1[iso1.len() - 12..]);
-        let input = ComponentInput {
-            component: 0,
-            contigs: vec![iso1.clone(), iso2.clone()],
-            reads: vec![],
-        };
+        let input = ComponentInput::from_bytes(0, &[iso1.clone(), iso2.clone()], &[]);
         let recs = reconstruct_component(&input, cfg(8, 20));
         let seqs: Vec<&[u8]> = recs.iter().map(|r| r.seq.as_slice()).collect();
         assert!(seqs.contains(&iso1.as_slice()));

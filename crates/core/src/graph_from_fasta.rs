@@ -2,6 +2,7 @@
 
 use kcount::counter::KmerCounts;
 use seqio::fasta::Record;
+use seqio::packed::PackedSeq;
 
 use graph::unionfind::UnionFind;
 use mpisim::comm::Comm;
@@ -22,8 +23,9 @@ use crate::weld::{harvest_contig, KmerContigMap, WeldSupport};
 /// (see crate-level notes). The read k-mer table is produced by the
 /// Jellyfish stage and only *consumed* here.
 pub struct GffShared {
-    /// The Inchworm contigs.
-    pub contigs: Vec<Record>,
+    /// The Inchworm contigs, 2-bit packed once at stage entry — every
+    /// harvest/match loop iterates the packed form directly.
+    pub contigs: Vec<PackedSeq>,
     /// Canonical (k−1)-mer → occurrence map.
     pub kmap: KmerContigMap,
     /// Read k-mer counts (the weld-support oracle).
@@ -46,13 +48,13 @@ pub struct GffShared {
 /// build already pays per insert), so it is executed for real but not
 /// charged to the virtual clock.
 fn build_kmap_parallel(
-    contigs: &[Record],
+    contigs: &[PackedSeq],
     k: usize,
     threads: usize,
     schedule: Schedule,
 ) -> (KmerContigMap, f64) {
     const BATCH: usize = 32;
-    let batches: Vec<(usize, &[Record])> = contigs
+    let batches: Vec<(usize, &[PackedSeq])> = contigs
         .chunks(BATCH)
         .enumerate()
         .map(|(i, c)| (i * BATCH, c))
@@ -72,9 +74,9 @@ fn build_kmap_parallel(
 }
 
 impl GffShared {
-    /// Build the replicated state. `counts` is the Jellyfish read-k-mer
-    /// table at the same `k` as `cfg.k`.
-    pub fn prepare(contigs: Vec<Record>, counts: KmerCounts, cfg: ChrysalisConfig) -> Self {
+    /// Build the replicated state from pre-packed contigs. `counts` is the
+    /// Jellyfish read-k-mer table at the same `k` as `cfg.k`.
+    pub fn prepare(contigs: Vec<PackedSeq>, counts: KmerCounts, cfg: ChrysalisConfig) -> Self {
         assert_eq!(counts.k(), cfg.k, "read k-mer table must use the stage's k");
         let (kmap, prep_cost) = build_kmap_parallel(&contigs, cfg.k, cfg.threads, cfg.schedule);
         GffShared {
@@ -84,6 +86,12 @@ impl GffShared {
             prep_cost,
             cfg,
         }
+    }
+
+    /// [`Self::prepare`] from byte records, encoding each contig once
+    /// (test/CLI convenience).
+    pub fn prepare_records(contigs: &[Record], counts: KmerCounts, cfg: ChrysalisConfig) -> Self {
+        Self::prepare(seqio::packed::encode_all(contigs), counts, cfg)
     }
 
     fn support(&self) -> WeldSupport<'_> {
@@ -346,7 +354,7 @@ mod tests {
         let junction = [&A_LEFT[A_LEFT.len() - K / 2..], SEED, &B_RIGHT[..K / 2]].concat();
         let reads = vec![a.clone(), b.clone(), c.clone(), junction];
         let counts = count_kmers(&reads, CounterConfig::new(K));
-        GffShared::prepare(contigs, counts, ChrysalisConfig::small(K))
+        GffShared::prepare_records(&contigs, counts, ChrysalisConfig::small(K))
     }
 
     #[test]
@@ -723,7 +731,7 @@ mod dynamic_tests {
         let junction = [&A_LEFT[A_LEFT.len() - K / 2..], SEED, &B_RIGHT[..K / 2]].concat();
         let reads = vec![a, b, c, junction];
         let counts = count_kmers(&reads, CounterConfig::new(K));
-        GffShared::prepare(contigs, counts, ChrysalisConfig::small(K))
+        GffShared::prepare_records(&contigs, counts, ChrysalisConfig::small(K))
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use seqio::fasta::Record;
 use seqio::kmer::CanonicalKmers;
+use seqio::packed::PackedSeq;
 
 use crate::config::ChrysalisConfig;
 
@@ -73,18 +73,22 @@ impl WeldKmerIndex {
 
 /// Scan one contig for weld matches (one loop-2 iteration). Returns
 /// `(weld_index, contig_index)` pairs, deduplicated within the contig.
+///
+/// The contig arrives pre-packed; its canonical k-mers roll off the 2-bit
+/// words in O(1) per base (welds themselves are short derived sequences,
+/// indexed from bytes at build time).
 pub fn match_contig(
     contig_idx: u32,
-    contigs: &[Record],
+    contigs: &[PackedSeq],
     welds: &WeldKmerIndex,
     _cfg: &ChrysalisConfig,
 ) -> Vec<(u32, u32)> {
-    let seq = &contigs[contig_idx as usize].seq;
+    let seq = &contigs[contig_idx as usize];
     let mut out = Vec::new();
     if welds.is_empty() {
         return out;
     }
-    let Ok(iter) = CanonicalKmers::new(seq, welds.k) else {
+    let Ok(iter) = seq.canonical_kmers(welds.k) else {
         return out;
     };
     let mut seen: HashSet<u32> = HashSet::new();
@@ -147,10 +151,6 @@ mod tests {
     use crate::weld::canonical_weld;
     use seqio::alphabet::revcomp;
 
-    fn rec(id: &str, seq: &[u8]) -> Record {
-        Record::new(id, seq.to_vec())
-    }
-
     const K: usize = 8;
     const SEED: &[u8] = b"GGATACT";
     const A_LEFT: &[u8] = b"CGAGTCGGTTAT";
@@ -169,12 +169,12 @@ mod tests {
         canonical_weld(&[&A_LEFT[A_LEFT.len() - K / 2..], SEED, &B_RIGHT[..K / 2]].concat())
     }
 
-    fn fixtures() -> (Vec<Record>, WeldKmerIndex, ChrysalisConfig) {
-        let contigs = vec![
-            rec("a", &contig_a()),
-            rec("b", &contig_b()),
-            rec("c", b"TTTTGGGGCCCCAAAATTTTGGGGCCCC"),
-        ];
+    fn fixtures() -> (Vec<PackedSeq>, WeldKmerIndex, ChrysalisConfig) {
+        let contigs = seqio::packed::encode_all(&[
+            contig_a(),
+            contig_b(),
+            b"TTTTGGGGCCCCAAAATTTTGGGGCCCC".to_vec(),
+        ]);
         let welds = WeldKmerIndex::build(&[junction_weld()], K);
         (contigs, welds, ChrysalisConfig::small(K))
     }
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn revcomp_contig_still_matches() {
         let (mut contigs, welds, cfg) = fixtures();
-        contigs[1] = rec("b_rc", &revcomp(&contig_b()));
+        contigs[1] = PackedSeq::from_bytes(&revcomp(&contig_b()));
         let m1 = match_contig(1, &contigs, &welds, &cfg);
         assert_eq!(m1, vec![(0, 1)]);
     }
@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn short_contig_no_matches() {
         let (_, welds, cfg) = fixtures();
-        let short = vec![rec("s", b"ACGT")];
+        let short = vec![PackedSeq::from_bytes(b"ACGT")];
         assert!(match_contig(0, &short, &welds, &cfg).is_empty());
     }
 }

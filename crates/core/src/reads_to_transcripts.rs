@@ -11,7 +11,7 @@
 
 use kmertable::PackedKmerTable;
 use seqio::fasta::Record;
-use seqio::kmer::CanonicalKmers;
+use seqio::packed::PackedSeq;
 
 use mpisim::comm::Comm;
 use mpisim::pack::{pack_u32s, unpack_u32s};
@@ -24,8 +24,12 @@ use crate::timings::RttTimings;
 /// Read-only state for the stage: the read set (standing in for the
 /// streamed FASTA file) and the replicated k-mer→component table.
 pub struct RttShared {
-    /// All input reads, in file order.
+    /// All input reads, in file order (ASCII form: the streamed-file model
+    /// walks these bytes to charge I/O).
     pub reads: Vec<Record>,
+    /// The same reads 2-bit packed once at prepare time; the voting loop
+    /// rolls canonical k-mers off this form.
+    pub packed_reads: Vec<PackedSeq>,
     /// Canonical k-mer → component table ("assignment of k-mers to
     /// Inchworm bundles", OpenMP-only in the paper). An open-addressing
     /// packed-k-mer table: the per-read voting loop probes it once per
@@ -44,10 +48,28 @@ impl RttShared {
     /// `components[c]` lists contig indices of component `c`.
     pub fn prepare(
         reads: Vec<Record>,
-        contigs: &[Record],
+        contigs: &[PackedSeq],
         components: &[Vec<usize>],
         cfg: ChrysalisConfig,
     ) -> Self {
+        let packed_reads = seqio::packed::encode_all(&reads);
+        Self::prepare_with_packed(reads, packed_reads, contigs, components, cfg)
+    }
+
+    /// [`Self::prepare`] with pre-encoded reads — the pipeline packs every
+    /// read once at ingest and hands the same encoding to each stage.
+    pub fn prepare_with_packed(
+        reads: Vec<Record>,
+        packed_reads: Vec<PackedSeq>,
+        contigs: &[PackedSeq],
+        components: &[Vec<usize>],
+        cfg: ChrysalisConfig,
+    ) -> Self {
+        assert_eq!(
+            reads.len(),
+            packed_reads.len(),
+            "one packed form per read, in file order"
+        );
         // "the OpenMP-enabled assignment of k-mers to Inchworm bundles":
         // the table build parallelizes over components; per-batch costs are
         // measured and replayed as a makespan, like the other parallel
@@ -62,7 +84,7 @@ impl RttShared {
             let mut map = PackedKmerTable::new();
             for (ci, members) in comps.iter().enumerate() {
                 for &m in members {
-                    if let Ok(iter) = CanonicalKmers::new(&contigs[m].seq, cfg.k) {
+                    if let Ok(iter) = contigs[m].canonical_kmers(cfg.k) {
                         for (_, km) in iter {
                             // First component to claim a k-mer keeps it
                             // (ids are dense and deterministic).
@@ -85,6 +107,7 @@ impl RttShared {
         }
         RttShared {
             reads,
+            packed_reads,
             kmer_to_component: map,
             kmer_setup_cost,
             n_components: components.len(),
@@ -92,27 +115,50 @@ impl RttShared {
         }
     }
 
-    /// Assign one read: the component with the most shared k-mers, ties to
-    /// the smallest component id. `None` if below `min_read_kmers`.
+    /// [`Self::prepare`] from byte-record contigs, encoding each once
+    /// (test/CLI convenience).
+    pub fn prepare_records(
+        reads: Vec<Record>,
+        contigs: &[Record],
+        components: &[Vec<usize>],
+        cfg: ChrysalisConfig,
+    ) -> Self {
+        Self::prepare(reads, &seqio::packed::encode_all(contigs), components, cfg)
+    }
+
+    /// Assign one packed read: the component with the most shared k-mers,
+    /// ties to the smallest component id. `None` if below `min_read_kmers`.
     ///
-    /// Votes accumulate in a small linear-scan vector instead of a
-    /// per-read `HashMap`: a read's k-mers hit very few distinct
-    /// components, so the scan beats hashing and keeps the loop free of
-    /// per-entry allocations.
-    pub fn assign(&self, read: &[u8]) -> Option<u32> {
-        let mut votes: Vec<(u32, usize)> = Vec::new();
-        let iter = CanonicalKmers::new(read, self.cfg.k).ok()?;
+    /// Canonical k-mers roll off the 2-bit form in O(1) per base, and
+    /// votes accumulate in a fixed inline array scanned linearly: a read's
+    /// k-mers hit very few distinct components, so the scan beats hashing
+    /// and the per-read heap allocation the old `Vec` tally paid. Reads
+    /// touching more than `MAX_INLINE_VOTES` components (pathological)
+    /// spill the excess to a heap vector, preserving exact semantics.
+    pub fn assign_packed(&self, read: &PackedSeq) -> Option<u32> {
+        let mut inline = [(0u32, 0u32); MAX_INLINE_VOTES];
+        let mut n_inline = 0usize;
+        let mut spill: Vec<(u32, u32)> = Vec::new();
+        let iter = read.canonical_kmers(self.cfg.k).ok()?;
         for (_, km) in iter {
             if let Some(c) = self.kmer_to_component.get(km.packed()) {
-                match votes.iter_mut().find(|(vc, _)| *vc == c) {
-                    Some((_, n)) => *n += 1,
-                    None => votes.push((c, 1)),
+                if let Some(v) = inline[..n_inline].iter_mut().find(|(vc, _)| *vc == c) {
+                    v.1 += 1;
+                } else if n_inline < MAX_INLINE_VOTES {
+                    inline[n_inline] = (c, 1);
+                    n_inline += 1;
+                } else if let Some(v) = spill.iter_mut().find(|(vc, _)| *vc == c) {
+                    v.1 += 1;
+                } else {
+                    spill.push((c, 1));
                 }
             }
         }
-        let min = self.cfg.min_read_kmers.max(1);
-        let mut best: Option<(u32, usize)> = None;
-        for &(c, n) in &votes {
+        // Selection compares (count, id) totally, so tally order is
+        // irrelevant and the inline/spill split cannot change the winner.
+        let min = self.cfg.min_read_kmers.max(1) as u32;
+        let mut best: Option<(u32, u32)> = None;
+        for &(c, n) in inline[..n_inline].iter().chain(spill.iter()) {
             if n < min {
                 continue;
             }
@@ -126,7 +172,17 @@ impl RttShared {
         }
         best.map(|(c, _)| c)
     }
+
+    /// [`Self::assign_packed`] from bytes, encoding the read first
+    /// (test/CLI convenience).
+    pub fn assign(&self, read: &[u8]) -> Option<u32> {
+        self.assign_packed(&PackedSeq::from_bytes(read))
+    }
 }
+
+/// Distinct components a read's k-mers plausibly hit; the vote tally keeps
+/// this many slots on the stack before spilling.
+const MAX_INLINE_VOTES: usize = 12;
 
 /// The stage output: `(read index, component)` assignments in read order.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,7 +214,9 @@ fn stream_chunk(reads: &[Record]) -> usize {
 /// assignments plus the simulated loop makespan.
 fn assign_chunk(shared: &RttShared, base: usize, chunk: &[Record]) -> (Vec<(u32, u32)>, f64) {
     let items: Vec<usize> = (0..chunk.len()).collect();
-    let (results, costs) = parallel_map_timed(&items, |&i| shared.assign(&chunk[i].seq));
+    let (results, costs) = parallel_map_timed(&items, |&i| {
+        shared.assign_packed(&shared.packed_reads[base + i])
+    });
     let makespan = simulate_loop(&costs, shared.cfg.threads, shared.cfg.schedule).makespan;
     let assignments = results
         .into_iter()
@@ -332,7 +390,7 @@ pub(crate) mod tests_support {
         reads.push(rec("junk", b"TTTTTTTTTTTTTTTT"));
         let mut cfg = ChrysalisConfig::small(8);
         cfg.max_mem_reads = 3;
-        RttShared::prepare(reads, &contigs, &components, cfg)
+        RttShared::prepare_records(reads, &contigs, &components, cfg)
     }
 }
 
@@ -436,7 +494,8 @@ mod tests {
     fn ties_break_to_smaller_component() {
         let contigs = vec![rec("c0", C0), rec("c1", C0)]; // identical contigs
         let components = vec![vec![0], vec![1]];
-        let shared = RttShared::prepare(vec![], &contigs, &components, ChrysalisConfig::small(8));
+        let shared =
+            RttShared::prepare_records(vec![], &contigs, &components, ChrysalisConfig::small(8));
         // All k-mers claimed by component 0 (first wins).
         assert_eq!(shared.assign(&C0[..16]), Some(0));
     }
@@ -444,7 +503,8 @@ mod tests {
     #[test]
     fn empty_reads() {
         let contigs = vec![rec("c0", C0)];
-        let shared = RttShared::prepare(vec![], &contigs, &[vec![0]], ChrysalisConfig::small(8));
+        let shared =
+            RttShared::prepare_records(vec![], &contigs, &[vec![0]], ChrysalisConfig::small(8));
         let out = rtt_shared_memory(&shared);
         assert!(out.assignments.is_empty());
     }
@@ -454,8 +514,48 @@ mod tests {
         let contigs = vec![rec("c0", C0)];
         let mut cfg = ChrysalisConfig::small(8);
         cfg.min_read_kmers = 100; // unreachable
-        let shared = RttShared::prepare(vec![], &contigs, &[vec![0]], cfg);
+        let shared = RttShared::prepare_records(vec![], &contigs, &[vec![0]], cfg);
         assert_eq!(shared.assign(&C0[..16]), None);
+    }
+
+    #[test]
+    fn spilled_votes_match_reference_tally() {
+        // A read touching more components than the inline tally holds: the
+        // spill path must preserve exact (count, id) voting semantics.
+        let mut state = 0x1234_5678u64;
+        let mut base = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b"ACGT"[(state >> 33) as usize % 4]
+        };
+        let contigs: Vec<Record> = (0..2 * MAX_INLINE_VOTES)
+            .map(|i| {
+                let seq: Vec<u8> = (0..10).map(|_| base()).collect();
+                rec(&format!("c{i}"), &seq)
+            })
+            .collect();
+        let components: Vec<Vec<usize>> = (0..contigs.len()).map(|i| vec![i]).collect();
+        let mut cfg = ChrysalisConfig::small(8);
+        cfg.min_read_kmers = 1;
+        let shared = RttShared::prepare_records(vec![], &contigs, &components, cfg);
+        // One read stitched from every contig touches them all.
+        let read: Vec<u8> = contigs.iter().flat_map(|c| c.seq.clone()).collect();
+        // Reference: plain HashMap tally, same threshold and tie-break.
+        let mut votes: std::collections::HashMap<u32, u32> = Default::default();
+        for (_, km) in seqio::kmer::CanonicalKmers::new(&read, 8).unwrap() {
+            if let Some(c) = shared.kmer_to_component.get(km.packed()) {
+                *votes.entry(c).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            votes.len() > MAX_INLINE_VOTES,
+            "fixture must overflow the inline tally ({} components)",
+            votes.len()
+        );
+        let expect = votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c);
+        assert_eq!(shared.assign(&read), expect);
     }
 }
 

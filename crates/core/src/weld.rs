@@ -13,9 +13,9 @@
 
 use kcount::counter::KmerCounts;
 use kmertable::{PackedKmerTable, PackedWeldSet};
-use seqio::alphabet::{base_to_code, complement_base, revcomp};
-use seqio::fasta::Record;
-use seqio::kmer::{CanonicalKmers, Kmer, KmerIter};
+use seqio::alphabet::{base_to_code, code_to_base, complement_base, complement_code, revcomp};
+use seqio::kmer::{CanonicalKmers, Kmer, RollState};
+use seqio::packed::PackedSeq;
 
 use crate::config::ChrysalisConfig;
 
@@ -53,8 +53,12 @@ fn revcomp_is_smaller(window: &[u8]) -> bool {
 /// of forward and reverse-complement packings; MSB-first packing makes
 /// integer order equal lexicographic order, matching [`canonical_weld`]).
 /// `None` if the window contains a non-ACGT base.
+///
+/// This is the per-window reference; the harvest hot path builds the same
+/// value incrementally via [`WeldWindow`], reusing the left-flank + seed
+/// prefix across candidate pairs instead of re-packing from scratch.
 #[inline]
-fn pack_window_canonical(window: &[u8]) -> Option<u128> {
+pub fn pack_window_canonical(window: &[u8]) -> Option<u128> {
     debug_assert!(window.len() <= 63, "weld windows fit 126 bits");
     let mut fwd = 0u128;
     let mut rc = 0u128;
@@ -66,6 +70,73 @@ fn pack_window_canonical(window: &[u8]) -> Option<u128> {
         rc |= ((!code) & 3) << (2 * i);
     }
     Some(fwd.min(rc))
+}
+
+/// A weld window under incremental construction: both the forward packing
+/// and the reverse-complement packing grow by O(1) per appended code, so a
+/// shared prefix (left flank + seed) is built once per seed occurrence and
+/// copied per candidate pair — appending a base never reshuffles what is
+/// already packed (`fwd` shifts up; the new complement lands above `rc`'s
+/// existing bits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeldWindow {
+    fwd: u128,
+    rc: u128,
+    len: u32,
+}
+
+impl WeldWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        WeldWindow::default()
+    }
+
+    /// Append one 2-bit code (must be `< 4`; capacity 63 bases).
+    #[inline(always)]
+    pub fn push(&mut self, code: u8) {
+        debug_assert!(code < 4);
+        debug_assert!(self.len < 63, "weld windows fit 126 bits");
+        self.fwd = (self.fwd << 2) | code as u128;
+        self.rc |= (complement_code(code) as u128) << (2 * self.len);
+        self.len += 1;
+    }
+
+    /// Window length in bases.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no codes have been appended.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 2-bit code at position `j` of the forward window.
+    #[inline(always)]
+    pub fn code_at(&self, j: usize) -> u8 {
+        debug_assert!(j < self.len as usize);
+        ((self.fwd >> (2 * (self.len as usize - 1 - j))) & 3) as u8
+    }
+
+    /// Canonical packed form: identical to
+    /// [`pack_window_canonical`] of the decoded window.
+    #[inline(always)]
+    pub fn canonical_packed(&self) -> u128 {
+        self.fwd.min(self.rc)
+    }
+
+    /// Decode the canonical orientation to ASCII — byte-identical to
+    /// [`canonical_weld`] of the decoded forward window (MSB-first packing
+    /// makes the `u128` comparison a lexicographic one).
+    pub fn decode_canonical(&self) -> Vec<u8> {
+        let p = self.canonical_packed();
+        let n = self.len as usize;
+        (0..n)
+            .map(|j| code_to_base(((p >> (2 * (n - 1 - j))) & 3) as u8))
+            .collect()
+    }
 }
 
 /// One occurrence of a seed within a contig.
@@ -98,23 +169,26 @@ pub struct KmerContigMap {
 
 impl KmerContigMap {
     /// Build over a contig set with seeds of length `k - 1`.
-    pub fn build(contigs: &[Record], k: usize) -> Self {
+    pub fn build(contigs: &[PackedSeq], k: usize) -> Self {
         Self::build_with_offset(contigs, k, 0)
     }
 
     /// Build over a slice of the contig set whose first record has global
     /// index `offset` (the building block of the parallel build).
-    pub fn build_with_offset(contigs: &[Record], k: usize, offset: usize) -> Self {
+    ///
+    /// Contigs arrive pre-packed; the oriented rolling iterator hands back
+    /// `(pos, canonical, forward)` in one O(1)-per-base pass, so the build
+    /// never re-encodes ASCII or re-packs windows.
+    pub fn build_with_offset(contigs: &[PackedSeq], k: usize, offset: usize) -> Self {
         assert!(k >= 4, "seed construction needs k >= 4");
         let seed_len = k - 1;
         let mut index = PackedKmerTable::new();
         let mut pool: Vec<Vec<SeedOcc>> = Vec::new();
         for (i, c) in contigs.iter().enumerate() {
-            let Ok(iter) = KmerIter::new(&c.seq, seed_len) else {
+            let Ok(iter) = c.oriented_kmers(seed_len) else {
                 continue;
             };
-            for (pos, km) in iter {
-                let canon = km.canonical();
+            for (pos, canon, forward) in iter {
                 let next = pool.len() as u32;
                 let slot = index.get_or_insert(canon.packed(), next);
                 if slot == next {
@@ -123,7 +197,7 @@ impl KmerContigMap {
                 pool[slot as usize].push(SeedOcc {
                     contig: (offset + i) as u32,
                     pos: pos as u32,
-                    forward: canon == km,
+                    forward,
                 });
             }
         }
@@ -232,31 +306,53 @@ impl<'a> WeldSupport<'a> {
         }
         any
     }
-}
 
-/// Extract the sub-slice `[pos-left, pos+len+right)` of `seq`, or `None`
-/// if it would leave the contig.
-fn window_around(seq: &[u8], pos: usize, len: usize, left: usize, right: usize) -> Option<&[u8]> {
-    if pos < left || pos + len + right > seq.len() {
-        return None;
+    /// [`Self::supports`] over a packed window: rolls canonical k-mers
+    /// straight off the 2-bit codes and probes the table by packed value —
+    /// no ASCII round-trip, no per-window repacking.
+    pub fn supports_packed(&self, w: &WeldWindow) -> bool {
+        let n = w.len();
+        if n < self.k {
+            return false;
+        }
+        let Ok(mut state) = RollState::new(self.k) else {
+            return false;
+        };
+        let mut any = false;
+        for j in 0..n {
+            if let Some(rolled) = state.push(w.code_at(j)) {
+                if self.counts.get_packed(rolled.canonical_packed()) < self.min {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        any
     }
-    Some(&seq[pos - left..pos + len + right])
 }
 
 /// Flanks around one seed occurrence, oriented so the seed reads in its
-/// canonical direction. Flanks are at most `k/2 <= 16` bases, so they live
-/// in fixed arrays — extracting them never touches the heap.
+/// canonical direction. Flanks are at most `k/2 <= 16` 2-bit codes, so they
+/// live in fixed arrays — extracting them never touches the heap.
+///
+/// A flank overlapping an N-run carries its codes anyway (gap positions
+/// read as code 0) with the matching validity flag cleared; the caller
+/// skips any window whose flanks are not both valid, reproducing the byte
+/// path where `pack_window_canonical` rejected windows containing N
+/// *per window*, not per occurrence.
 #[derive(Debug, Clone, Copy)]
-struct Flanks {
+struct CodeFlanks {
     left: [u8; MAX_FLANK],
     right: [u8; MAX_FLANK],
     n: usize,
+    left_valid: bool,
+    right_valid: bool,
 }
 
 /// Upper bound on the flank length (`k/2` with `k <= 32`).
 const MAX_FLANK: usize = 16;
 
-impl Flanks {
+impl CodeFlanks {
     fn left(&self) -> &[u8] {
         &self.left[..self.n]
     }
@@ -267,26 +363,43 @@ impl Flanks {
 }
 
 /// Orient the region around one seed occurrence so the seed reads in its
-/// canonical direction.
-fn oriented_flanks(seq: &[u8], occ: SeedOcc, seed_len: usize, flank: usize) -> Option<Flanks> {
+/// canonical direction. `None` when the window would leave the contig.
+fn oriented_code_flanks(
+    seq: &PackedSeq,
+    occ: SeedOcc,
+    seed_len: usize,
+    flank: usize,
+) -> Option<CodeFlanks> {
     assert!(flank <= MAX_FLANK, "flank k/2 fits in {MAX_FLANK} bases");
     let pos = occ.pos as usize;
-    let w = window_around(seq, pos, seed_len, flank, flank)?;
-    let mut f = Flanks {
+    if pos < flank || pos + seed_len + flank > seq.len() {
+        return None;
+    }
+    let lstart = pos - flank; // forward-strand left region [lstart, pos)
+    let rstart = pos + seed_len; // forward-strand right region [rstart, rstart+flank)
+    let left_region_valid = seq.range_valid(lstart, pos);
+    let right_region_valid = seq.range_valid(rstart, rstart + flank);
+    let mut f = CodeFlanks {
         left: [0; MAX_FLANK],
         right: [0; MAX_FLANK],
         n: flank,
+        left_valid: left_region_valid,
+        right_valid: right_region_valid,
     };
     if occ.forward {
-        f.left[..flank].copy_from_slice(&w[..flank]);
-        f.right[..flank].copy_from_slice(&w[flank + seed_len..]);
+        for i in 0..flank {
+            f.left[i] = seq.code_at(lstart + i);
+            f.right[i] = seq.code_at(rstart + i);
+        }
     } else {
         // Reverse-complement orientation: flanks swap sides, each read
-        // backwards and complemented.
+        // backwards and complemented — so the validity flags swap too.
         for i in 0..flank {
-            f.left[i] = complement_base(w[w.len() - 1 - i]);
-            f.right[i] = complement_base(w[flank - 1 - i]);
+            f.left[i] = complement_code(seq.code_at(rstart + flank - 1 - i));
+            f.right[i] = complement_code(seq.code_at(lstart + flank - 1 - i));
         }
+        f.left_valid = right_region_valid;
+        f.right_valid = left_region_valid;
     }
     Some(f)
 }
@@ -303,31 +416,30 @@ const MAX_OCCS_PER_SEED: usize = 16;
 /// in the seed's canonical orientation) and keep it when the reads support
 /// it. Returns canonical weld sequences, deduplicated within the contig.
 ///
-/// The candidate loop is allocation-free until a weld is *kept*: windows
-/// are assembled in one reused buffer, dedup goes through a packed `u128`
-/// set, support is checked on the raw window (k-mer support is
-/// strand-agnostic), and only surviving welds are materialized via
-/// [`canonical_weld`].
+/// The candidate loop never leaves 2-bit space until a weld is *kept*:
+/// flanks are extracted as code arrays, windows grow through the rolling
+/// [`WeldWindow`] packer (the left-flank + seed prefix is built once per
+/// seed occurrence and copied per pair), dedup goes through a packed
+/// `u128` set, support rolls canonical k-mers off the packed window, and
+/// only surviving welds are decoded to ASCII.
 pub fn harvest_contig(
     contig_idx: u32,
-    contigs: &[Record],
+    contigs: &[PackedSeq],
     kmap: &KmerContigMap,
     support: &WeldSupport<'_>,
     cfg: &ChrysalisConfig,
 ) -> Vec<Vec<u8>> {
-    let seq = &contigs[contig_idx as usize].seq;
+    let seq = &contigs[contig_idx as usize];
     let seed_len = kmap.seed_len();
     let flank = cfg.flank();
     let mut out = Vec::new();
     let mut seen = PackedWeldSet::new();
-    let mut window: Vec<u8> = Vec::with_capacity(2 * flank + seed_len);
-    let mut seed_bases = [0u8; 32];
+    let mut seed_codes = [0u8; 32];
 
-    let Ok(iter) = KmerIter::new(seq, seed_len) else {
+    let Ok(iter) = seq.oriented_kmers(seed_len) else {
         return out;
     };
-    for (pos, km) in iter {
-        let canon = km.canonical();
+    for (pos, canon, forward) in iter {
         let occs = kmap.occurrences(canon);
         if occs.len() < 2 || occs.len() > MAX_OCCS_PER_SEED {
             continue;
@@ -336,42 +448,74 @@ pub fn harvest_contig(
         let me = SeedOcc {
             contig: contig_idx,
             pos: pos as u32,
-            forward: canon == km,
+            forward,
         };
-        let Some(mine) = oriented_flanks(seq, me, seed_len, flank) else {
+        let Some(mine) = oriented_code_flanks(seq, me, seed_len, flank) else {
             continue;
         };
-        for (j, b) in seed_bases[..seed_len].iter_mut().enumerate() {
-            *b = seqio::alphabet::code_to_base(canon.code_at(j));
+        for (j, c) in seed_codes[..seed_len].iter_mut().enumerate() {
+            *c = canon.code_at(j);
         }
-        let seed_bases = &seed_bases[..seed_len];
+        // Window 1's prefix (my left flank + seed) is shared across every
+        // candidate pair at this seed — build it once.
+        let mut w1_prefix = WeldWindow::new();
+        for &c in mine.left() {
+            w1_prefix.push(c);
+        }
+        for &c in &seed_codes[..seed_len] {
+            w1_prefix.push(c);
+        }
         for &other in occs {
             if other.contig == contig_idx {
                 continue;
             }
-            let other_seq = &contigs[other.contig as usize].seq;
-            let Some(theirs) = oriented_flanks(other_seq, other, seed_len, flank) else {
+            let other_seq = &contigs[other.contig as usize];
+            let Some(theirs) = oriented_code_flanks(other_seq, other, seed_len, flank) else {
                 continue;
             };
             // Two mixed weldmers per pair: A-left + seed + B-right and
-            // B-left + seed + A-right.
-            for (left, right) in [(mine.left(), theirs.right()), (theirs.left(), mine.right())] {
-                window.clear();
-                window.extend_from_slice(left);
-                window.extend_from_slice(seed_bases);
-                window.extend_from_slice(right);
-                let Some(packed) = pack_window_canonical(&window) else {
-                    continue;
-                };
-                if seen.contains(packed) || !support.supports(&window) {
-                    continue;
+            // B-left + seed + A-right; each only when its flanks are
+            // N-free (per-window, matching the byte path's packing check).
+            if mine.left_valid && theirs.right_valid {
+                let mut w = w1_prefix;
+                for &c in theirs.right() {
+                    w.push(c);
                 }
-                seen.insert(packed);
-                out.push(canonical_weld(&window));
+                keep_if_supported(&w, &mut seen, support, &mut out);
+            }
+            if theirs.left_valid && mine.right_valid {
+                let mut w = WeldWindow::new();
+                for &c in theirs.left() {
+                    w.push(c);
+                }
+                for &c in &seed_codes[..seed_len] {
+                    w.push(c);
+                }
+                for &c in mine.right() {
+                    w.push(c);
+                }
+                keep_if_supported(&w, &mut seen, support, &mut out);
             }
         }
     }
     out
+}
+
+/// Dedup + support gate for one assembled window; pushes the decoded
+/// canonical weld on success.
+#[inline]
+fn keep_if_supported(
+    w: &WeldWindow,
+    seen: &mut PackedWeldSet,
+    support: &WeldSupport<'_>,
+    out: &mut Vec<Vec<u8>>,
+) {
+    let packed = w.canonical_packed();
+    if seen.contains(packed) || !support.supports_packed(w) {
+        return;
+    }
+    seen.insert(packed);
+    out.push(w.decode_canonical());
 }
 
 #[cfg(test)]
@@ -380,8 +524,8 @@ mod tests {
     use kcount::counter::{count_kmers, CounterConfig};
     use std::collections::HashSet;
 
-    fn rec(id: &str, seq: &[u8]) -> Record {
-        Record::new(id, seq.to_vec())
+    fn packed<S: AsRef<[u8]>>(seqs: &[S]) -> Vec<PackedSeq> {
+        seqio::packed::encode_all(seqs)
     }
 
     const K: usize = 8;
@@ -421,7 +565,7 @@ mod tests {
 
     #[test]
     fn kmap_indexes_shared_seed() {
-        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let contigs = packed(&[contig_a(), contig_b()]);
         let kmap = KmerContigMap::build(&contigs, K);
         assert_eq!(kmap.seed_len(), K - 1);
         let seed = Kmer::from_bases(SEED).unwrap().canonical();
@@ -432,7 +576,7 @@ mod tests {
 
     #[test]
     fn kmap_metrics_count_occurrences() {
-        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let contigs = packed(&[contig_a(), contig_b()]);
         let kmap = KmerContigMap::build(&contigs, K);
         let reg = obs::MetricsRegistry::new();
         kmap.record_metrics(&reg, "gff.kmap");
@@ -441,8 +585,50 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.gauge("gff.kmap.entries"), Some(kmap.len() as f64));
         // Both contigs contribute every window; the shared seed occurs twice.
-        let windows: usize = contigs.iter().map(|c| c.seq.len() - (K - 1) + 1).sum();
+        let windows: usize = contigs.iter().map(|c| c.len() - (K - 1) + 1).sum();
         assert_eq!(snap.gauge("gff.kmap.occurrences"), Some(windows as f64));
+    }
+
+    #[test]
+    fn weld_window_matches_pack_reference() {
+        // The incremental packer must agree with the per-window reference
+        // on canonical value and decoded bytes, including prefix reuse.
+        let w = junction_window();
+        for end in K..=w.len() {
+            let window = &w[..end];
+            let mut ww = WeldWindow::new();
+            for &b in window {
+                ww.push(base_to_code(b).unwrap());
+            }
+            assert_eq!(ww.len(), window.len());
+            assert_eq!(
+                Some(ww.canonical_packed()),
+                pack_window_canonical(window),
+                "window {:?}",
+                String::from_utf8_lossy(window)
+            );
+            assert_eq!(ww.decode_canonical(), canonical_weld(window));
+        }
+    }
+
+    #[test]
+    fn supports_packed_matches_byte_supports() {
+        let window = junction_window();
+        let counts = support_counts(&[&window]);
+        for min in [1, 2] {
+            let sup = WeldSupport::new(&counts, min);
+            let mut ww = WeldWindow::new();
+            for &b in &window {
+                ww.push(base_to_code(b).unwrap());
+            }
+            assert_eq!(sup.supports_packed(&ww), sup.supports(&window));
+            // Shorter than k: both reject.
+            let mut short = WeldWindow::new();
+            for &b in &window[..K - 1] {
+                short.push(base_to_code(b).unwrap());
+            }
+            assert!(!sup.supports_packed(&short));
+        }
     }
 
     #[test]
@@ -468,7 +654,7 @@ mod tests {
 
     #[test]
     fn harvest_finds_supported_junction() {
-        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let contigs = packed(&[contig_a(), contig_b()]);
         let kmap = KmerContigMap::build(&contigs, K);
         let w = junction_window();
         let counts = support_counts(&[&w]);
@@ -489,7 +675,7 @@ mod tests {
 
     #[test]
     fn harvest_empty_without_read_support() {
-        let contigs = vec![rec("a", &contig_a()), rec("b", &contig_b())];
+        let contigs = packed(&[contig_a(), contig_b()]);
         let kmap = KmerContigMap::build(&contigs, K);
         let empty = support_counts(&[]);
         let sup = WeldSupport::new(&empty, 1);
@@ -498,12 +684,11 @@ mod tests {
 
     #[test]
     fn harvest_empty_without_shared_seed() {
-        let contigs = vec![
-            rec("a", b"CGAGTCGGTTATCTTCGGCAAGTCAGGT"),
-            rec("b", b"AAAGCGGCACTTGTGAAGTGTTCCCCAC"),
-        ];
+        let a: &[u8] = b"CGAGTCGGTTATCTTCGGCAAGTCAGGT";
+        let b: &[u8] = b"AAAGCGGCACTTGTGAAGTGTTCCCCAC";
+        let contigs = packed(&[a, b]);
         let kmap = KmerContigMap::build(&contigs, K);
-        let counts = support_counts(&[&contigs[0].seq]);
+        let counts = support_counts(&[a]);
         let sup = WeldSupport::new(&counts, 1);
         assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
     }
@@ -512,8 +697,8 @@ mod tests {
     fn revcomp_contig_harvests_same_weld() {
         // Contig B given as its reverse complement: canonical seed
         // orientation makes the harvested weld identical.
-        let contigs_fwd = vec![rec("a", &contig_a()), rec("b", &contig_b())];
-        let contigs_rc = vec![rec("a", &contig_a()), rec("b", &revcomp(&contig_b()))];
+        let contigs_fwd = packed(&[contig_a(), contig_b()]);
+        let contigs_rc = packed(&[contig_a(), revcomp(&contig_b())]);
         let w = junction_window();
         let counts = support_counts(&[&w]);
         let sup = WeldSupport::new(&counts, 1);
@@ -550,17 +735,18 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             b"ACGT"[(state >> 33) as usize % 4]
         };
-        let mut contigs: Vec<Record> = Vec::new();
-        for i in 0..(MAX_OCCS_PER_SEED + 4) {
+        let mut seqs: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..(MAX_OCCS_PER_SEED + 4) {
             let mut s: Vec<u8> = (0..12).map(|_| next()).collect();
             s.extend_from_slice(SEED);
             s.extend((0..12).map(|_| next()));
-            contigs.push(rec(&format!("c{i}"), &s));
+            seqs.push(s);
         }
+        let contigs = packed(&seqs);
         let kmap = KmerContigMap::build(&contigs, K);
         let seed = Kmer::from_bases(SEED).unwrap().canonical();
         assert!(kmap.occurrences(seed).len() > MAX_OCCS_PER_SEED);
-        let counts = support_counts(&contigs.iter().map(|c| c.seq.as_slice()).collect::<Vec<_>>());
+        let counts = support_counts(&seqs.iter().map(|s| s.as_slice()).collect::<Vec<_>>());
         let sup = WeldSupport::new(&counts, 1);
         for i in 0..contigs.len() as u32 {
             for weld in harvest_contig(i, &contigs, &kmap, &sup, &cfg()) {
@@ -582,11 +768,40 @@ mod tests {
 
     #[test]
     fn short_contig_harvests_nothing() {
-        let contigs = vec![rec("s", b"ACGTACG"), rec("t", b"ACGTACG")];
+        let contigs = packed(&[b"ACGTACG".as_slice(), b"ACGTACG".as_slice()]);
         let kmap = KmerContigMap::build(&contigs, K);
         let counts = support_counts(&[b"ACGTACG".as_slice()]);
         let sup = WeldSupport::new(&counts, 1);
         assert!(harvest_contig(0, &contigs, &kmap, &sup, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn n_in_one_flank_skips_only_that_window() {
+        // An N inside contig A's left flank kills the A-left+seed+B-right
+        // window but must NOT kill B-left+seed+A-right — the byte path
+        // rejected N windows one at a time (pack_window_canonical -> None),
+        // not per seed occurrence.
+        let flank = cfg().flank();
+        let a_left_n: &[u8] = b"CGAGTCGGTNAT"; // N lands inside the flank
+        assert!(a_left_n[a_left_n.len() - flank..].contains(&b'N'));
+        let a = [a_left_n, SEED, A_RIGHT].concat();
+        let b = contig_b();
+        let contigs = packed(&[a.clone(), b.clone()]);
+        let kmap = KmerContigMap::build(&contigs, K);
+
+        let w2 = [&B_LEFT[B_LEFT.len() - flank..], SEED, &A_RIGHT[..flank]].concat();
+        let w1_clean = junction_window(); // what window 1 would be without N
+        let counts = support_counts(&[&w2, &w1_clean]);
+        let sup = WeldSupport::new(&counts, 1);
+        let welds = harvest_contig(0, &contigs, &kmap, &sup, &cfg());
+        assert!(
+            welds.contains(&canonical_weld(&w2)),
+            "clean window still harvested"
+        );
+        assert!(
+            !welds.contains(&canonical_weld(&w1_clean)),
+            "N-flank window must not appear"
+        );
     }
 
     #[test]

@@ -30,11 +30,7 @@ proptest! {
         ranks in 1usize..6,
         chunk in 1usize..4,
     ) {
-        let contigs: Vec<Record> = seqs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Record::new(format!("c{i}"), s.clone()))
-            .collect();
+        let contigs = seqio::packed::encode_all(&seqs);
         // Reads = windows of the contigs, so welds can find support.
         let reads: Vec<Vec<u8>> = seqs
             .iter()
@@ -62,11 +58,7 @@ proptest! {
         ranks in 1usize..6,
         chunk_size in 1usize..7,
     ) {
-        let contigs: Vec<Record> = contig_seqs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Record::new(format!("c{i}"), s.clone()))
-            .collect();
+        let contigs = seqio::packed::encode_all(&contig_seqs);
         let reads: Vec<Record> = read_windows
             .iter()
             .enumerate()

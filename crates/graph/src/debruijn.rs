@@ -7,6 +7,7 @@
 
 use kmertable::PackedKmerTable;
 use seqio::kmer::{Kmer, KmerIter};
+use seqio::packed::PackedSeq;
 
 /// Dense node id within one graph.
 pub type NodeId = u32;
@@ -94,6 +95,21 @@ impl DeBruijnGraph {
         }
     }
 
+    /// Thread a pre-encoded sequence through the graph — the Butterfly hot
+    /// path, which receives its component bundle already packed and never
+    /// re-decodes ASCII. Identical semantics to [`Self::add_sequence`].
+    pub fn add_packed(&mut self, seq: &PackedSeq, weight: u32) {
+        let iter = match seq.kmers(self.k) {
+            Ok(it) => it,
+            Err(_) => return,
+        };
+        for (_, km) in iter {
+            let from = self.intern(km.prefix());
+            let to = self.intern(km.suffix());
+            self.add_edge(from, to, weight);
+        }
+    }
+
     fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u32) {
         let adj = &mut self.out[from as usize];
         if let Some(e) = adj.iter_mut().find(|(t, _)| *t == to) {
@@ -118,7 +134,7 @@ impl DeBruijnGraph {
     /// Successors of a node with edge weights, heaviest first.
     pub fn out_edges(&self, id: NodeId) -> Vec<(NodeId, u32)> {
         let mut edges = self.out[id as usize].clone();
-        edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        edges.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         edges
     }
 
@@ -316,5 +332,28 @@ mod tests {
     fn empty_path_spells_empty() {
         let g = DeBruijnGraph::new(4);
         assert!(g.spell_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn add_packed_matches_add_sequence() {
+        let seqs: [&[u8]; 3] = [b"ACGTACGGTTA", b"AACGNNACGT", b"TTTT"];
+        let mut bytes = DeBruijnGraph::new(4);
+        let mut packed = DeBruijnGraph::new(4);
+        for (i, s) in seqs.iter().enumerate() {
+            bytes.add_sequence(s, i as u32 + 1);
+            packed.add_packed(&PackedSeq::from_bytes(s), i as u32 + 1);
+        }
+        assert_eq!(bytes.node_count(), packed.node_count());
+        assert_eq!(bytes.edge_count(), packed.edge_count());
+        for id in 0..bytes.node_count() as NodeId {
+            let km = bytes.node_kmer(id);
+            let pid = packed.node_of(km).expect("node present in packed graph");
+            assert_eq!(bytes.out_edges(id).len(), packed.out_edges(pid).len());
+            for (to, w) in bytes.out_edges(id) {
+                let to_km = bytes.node_kmer(to);
+                let pto = packed.node_of(to_km).unwrap();
+                assert_eq!(packed.edge_weight(pid, pto), Some(w));
+            }
+        }
     }
 }

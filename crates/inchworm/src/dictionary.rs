@@ -39,7 +39,9 @@ impl Dictionary {
             .iter()
             .map(|(p, c)| (Kmer::from_packed(p, k).expect("valid"), c))
             .collect();
-        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Total order over distinct (kmer, count) pairs — unstable sort is
+        // deterministic here and skips the merge-sort allocation.
+        sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Dictionary { k, sorted, counts }
     }
 
@@ -88,6 +90,18 @@ mod tests {
             assert!(w[0] >= w[1]);
         }
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn tie_order_is_pinned() {
+        // Every k-mer here is unique (count 1), so the whole order is
+        // decided by the tie-break. The comparator is a total order, which
+        // is what makes the unstable sort deterministic.
+        let d = dict_of(&[b"ACGTCCAGTTGAC"], 6, 1);
+        let v: Vec<u64> = d.iter_by_abundance().map(|(km, _)| km.packed()).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        assert_eq!(v, expect, "equal counts fall back to ascending k-mer order");
     }
 
     #[test]

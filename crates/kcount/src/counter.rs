@@ -9,7 +9,8 @@
 //! from the hottest loop of the whole pipeline.
 
 use kmertable::{PackedKmerTable, ShardedKmerTable};
-use seqio::kmer::{Kmer, KmerIter};
+use seqio::kmer::Kmer;
+use seqio::packed::PackedSeq;
 
 /// Configuration for a counting pass.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +80,14 @@ impl KmerCounts {
         self.counts.get(km.packed()).unwrap_or(0)
     }
 
+    /// Count of a packed k-mer word (0 if absent) — hot-path form for
+    /// rolling iterators that never materialize a [`Kmer`]. The query is
+    /// *not* canonicalized.
+    #[inline]
+    pub fn get_packed(&self, packed: u64) -> u32 {
+        self.counts.get(packed).unwrap_or(0)
+    }
+
     /// Total k-mer instances counted (sum of counts).
     pub fn total(&self) -> u64 {
         self.counts.iter().map(|(_, c)| c as u64).sum()
@@ -98,7 +107,9 @@ impl KmerCounts {
     }
 
     /// Drain into a vector sorted by decreasing count (ties: k-mer order) —
-    /// the order Inchworm consumes the dictionary in.
+    /// the order Inchworm consumes the dictionary in. The comparator is a
+    /// total order ((count, kmer) pairs are distinct per entry), so the
+    /// unstable sort is deterministic and allocation-free.
     pub fn into_sorted_by_abundance(self) -> Vec<(Kmer, u32)> {
         let k = self.k;
         let mut v: Vec<(Kmer, u32)> = self
@@ -106,7 +117,7 @@ impl KmerCounts {
             .iter()
             .map(|(p, c)| (Kmer::from_packed(p, k).expect("stored kmer valid"), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -137,23 +148,69 @@ impl KmerCounts {
     }
 }
 
-/// Count all k-mers of `reads` per `cfg`. Runs the counting loop over the
-/// configured worker threads; each worker stages counts in a thread-local
-/// [`PackedKmerTable`] and flushes into the sharded table, which groups the
-/// flush per shard so every lock is taken once per read.
-pub fn count_kmers<S: AsRef<[u8]> + Sync>(reads: &[S], cfg: CounterConfig) -> KmerCounts {
+/// Count all k-mers of pre-encoded reads per `cfg` — the pipeline's hot
+/// path. Runs the counting loop over the configured worker threads; each
+/// worker stages counts in a thread-local [`PackedKmerTable`] and flushes
+/// into the sharded table, which groups the flush per shard so every lock
+/// is taken once per read. Canonical windows are rolled incrementally
+/// (O(1)/base), never reconstructed per window.
+pub fn count_kmers_packed(reads: &[PackedSeq], cfg: CounterConfig) -> KmerCounts {
     let shared = ShardedKmerTable::new(cfg.shards.max(1));
 
     omp::parallel_map(reads, cfg.threads, |read| {
         // Small thread-local staging buffer cuts lock traffic.
         let mut local = PackedKmerTable::new();
-        let iter = match KmerIter::new(read.as_ref(), cfg.k) {
-            Ok(it) => it,
-            Err(_) => return,
-        };
-        for (_, km) in iter {
-            let km = if cfg.canonical { km.canonical() } else { km };
-            local.add(km.packed(), 1);
+        if cfg.canonical {
+            let iter = match read.canonical_kmers(cfg.k) {
+                Ok(it) => it,
+                Err(_) => return,
+            };
+            for (_, km) in iter {
+                local.add(km.packed(), 1);
+            }
+        } else {
+            let iter = match read.kmers(cfg.k) {
+                Ok(it) => it,
+                Err(_) => return,
+            };
+            for (_, km) in iter {
+                local.add(km.packed(), 1);
+            }
+        }
+        shared.absorb(&local);
+    });
+
+    KmerCounts::from_table(cfg.k, shared.into_merged())
+}
+
+/// Count all k-mers of byte-sequence `reads` per `cfg`.
+///
+/// Convenience wrapper over [`count_kmers_packed`]: each read is encoded to
+/// a [`PackedSeq`] once inside the worker, then counted via the rolling
+/// iterators. Callers with reads already encoded (the pipeline) should pass
+/// them to [`count_kmers_packed`] directly.
+pub fn count_kmers<S: AsRef<[u8]> + Sync>(reads: &[S], cfg: CounterConfig) -> KmerCounts {
+    let shared = ShardedKmerTable::new(cfg.shards.max(1));
+
+    omp::parallel_map(reads, cfg.threads, |read| {
+        let packed = PackedSeq::from_bytes(read.as_ref());
+        let mut local = PackedKmerTable::new();
+        if cfg.canonical {
+            let iter = match packed.canonical_kmers(cfg.k) {
+                Ok(it) => it,
+                Err(_) => return,
+            };
+            for (_, km) in iter {
+                local.add(km.packed(), 1);
+            }
+        } else {
+            let iter = match packed.kmers(cfg.k) {
+                Ok(it) => it,
+                Err(_) => return,
+            };
+            for (_, km) in iter {
+                local.add(km.packed(), 1);
+            }
         }
         shared.absorb(&local);
     });
@@ -245,6 +302,51 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(sorted[0].0.bases(), b"AAAA");
+    }
+
+    #[test]
+    fn packed_counting_matches_byte_counting() {
+        let reads: Vec<Vec<u8>> = vec![
+            b"ACGTACGTGGCCATAT".to_vec(),
+            b"TTTTNNACGTACGT".to_vec(),
+            b"acgtACGTnACGT".to_vec(),
+            Vec::new(),
+        ];
+        for canonical in [true, false] {
+            let from_bytes = count_kmers(&reads, cfg(5, canonical));
+            let packed: Vec<PackedSeq> = reads.iter().map(|r| PackedSeq::from_bytes(r)).collect();
+            let from_packed = count_kmers_packed(&packed, cfg(5, canonical));
+            assert_eq!(from_bytes.len(), from_packed.len());
+            for (km, c) in from_bytes.iter() {
+                assert_eq!(from_packed.get(km), c, "canonical={canonical} {km:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_packed_matches_get() {
+        let counts = count_kmers(&[b"ACGTACGT".as_slice()], cfg(4, true));
+        for (km, c) in counts.iter() {
+            assert_eq!(counts.get_packed(km.packed()), c);
+        }
+        assert_eq!(counts.get_packed(u64::MAX), 0);
+    }
+
+    #[test]
+    fn sorted_by_abundance_order_is_pinned() {
+        // AAAA x3, then singletons; ties break by ascending k-mer order.
+        let counts = count_kmers(&[b"AAAAAACGT".as_slice()], cfg(4, false));
+        let sorted = counts.into_sorted_by_abundance();
+        let rendered: Vec<(Vec<u8>, u32)> = sorted.iter().map(|(km, c)| (km.bases(), *c)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                (b"AAAA".to_vec(), 3),
+                (b"AAAC".to_vec(), 1),
+                (b"AACG".to_vec(), 1),
+                (b"ACGT".to_vec(), 1),
+            ]
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use seqio::error::{Error, Result};
-use seqio::kmer::{CanonicalKmers, KmerIter};
+use seqio::packed::PackedSeq;
 
 use crate::counter::{CounterConfig, KmerCounts};
 
@@ -82,20 +82,18 @@ pub fn count_kmers_dsk<S: AsRef<[u8]>>(reads: &[S], cfg: &DskConfig) -> Result<D
             .map(|p| Ok(BufWriter::new(File::create(p)?)))
             .collect::<Result<_>>()?;
         for read in reads {
+            // Encode once, then roll: the spill pass touches each base a
+            // single time even in canonical mode.
+            let packed = PackedSeq::from_bytes(read.as_ref());
             if cfg.counter.canonical {
                 spill(
-                    CanonicalKmers::new(read.as_ref(), k)?,
+                    packed.canonical_kmers(k)?,
                     &mut writers,
                     partitions,
                     &mut spilled,
                 )?;
             } else {
-                spill(
-                    KmerIter::new(read.as_ref(), k)?,
-                    &mut writers,
-                    partitions,
-                    &mut spilled,
-                )?;
+                spill(packed.kmers(k)?, &mut writers, partitions, &mut spilled)?;
             }
         }
         for w in &mut writers {

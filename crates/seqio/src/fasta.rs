@@ -40,6 +40,14 @@ impl Record {
     pub fn is_empty(&self) -> bool {
         self.seq.is_empty()
     }
+
+    /// Encode the sequence into its 2-bit packed form.
+    ///
+    /// The pipeline calls this exactly once per record per run and shares
+    /// the result across stages (see [`crate::packed`]).
+    pub fn packed(&self) -> crate::packed::PackedSeq {
+        crate::packed::PackedSeq::from_bytes(&self.seq)
+    }
 }
 
 impl AsRef<[u8]> for Record {

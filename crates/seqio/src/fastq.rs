@@ -44,6 +44,12 @@ impl FastqRecord {
         }
     }
 
+    /// Encode the sequence into its 2-bit packed form (qualities are not
+    /// packed; k-mer stages never read them).
+    pub fn packed(&self) -> crate::packed::PackedSeq {
+        crate::packed::PackedSeq::from_bytes(&self.seq)
+    }
+
     /// Sequence length.
     pub fn len(&self) -> usize {
         self.seq.len()

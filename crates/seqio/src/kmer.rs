@@ -52,6 +52,19 @@ impl Kmer {
         Ok(Kmer { packed, k: k as u8 })
     }
 
+    /// Build from a packed word that is already known to be in range.
+    ///
+    /// Hot-path constructor used by the rolling iterators, which mask their
+    /// words on every shift. Only debug-asserts the invariants that
+    /// [`Kmer::from_packed`] checks; violating them corrupts ordering (not
+    /// memory safety).
+    #[inline(always)]
+    pub fn from_packed_unchecked(packed: u64, k: usize) -> Self {
+        debug_assert!((1..=Self::MAX_K).contains(&k));
+        debug_assert!(k == 32 || packed >> (2 * k) == 0);
+        Kmer { packed, k: k as u8 }
+    }
+
     /// The packed 2-bit representation.
     #[inline(always)]
     pub fn packed(self) -> u64 {
@@ -79,13 +92,23 @@ impl Kmer {
     }
 
     /// Reverse complement of this k-mer.
+    ///
+    /// Branch-free: complement all 32 2-bit lanes at once (`!`), reverse the
+    /// lane order with a shift/mask ladder (swap adjacent pairs, swap
+    /// nibbles, then [`u64::swap_bytes`] for the byte level), and shift the
+    /// `k` meaningful lanes back down to the LSB end. The complement turns
+    /// the zero bits above `2k` into ones, but lane reversal moves exactly
+    /// those lanes to the bottom where the final shift discards them.
+    #[inline]
     pub fn revcomp(self) -> Self {
-        let mut packed = 0u64;
-        for i in 0..self.k() {
-            let code = complement_code(self.code_at(i));
-            packed |= (code as u64) << (2 * i);
+        let mut v = !self.packed;
+        v = ((v >> 2) & 0x3333_3333_3333_3333) | ((v & 0x3333_3333_3333_3333) << 2);
+        v = ((v >> 4) & 0x0F0F_0F0F_0F0F_0F0F) | ((v & 0x0F0F_0F0F_0F0F_0F0F) << 4);
+        v = v.swap_bytes();
+        Kmer {
+            packed: v >> (2 * (32 - self.k())),
+            k: self.k,
         }
-        Kmer { packed, k: self.k }
     }
 
     /// The lexicographically smaller of this k-mer and its reverse complement.
@@ -230,18 +253,130 @@ impl<'a> Iterator for KmerIter<'a> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let remaining = self.seq.len() - self.pos;
-        // Upper bound: every remaining byte could complete a window.
-        (0, Some(remaining + self.run))
+        // A remaining byte at index `pos + i` can complete a window only once
+        // the valid run reaches length k, i.e. when `run + i + 1 >= k`. The
+        // first `k - 1 - run` bytes therefore cannot yield, and each byte
+        // after that yields at most one window.
+        let needed = (self.k - 1).saturating_sub(self.run);
+        (0, Some(remaining.saturating_sub(needed)))
+    }
+}
+
+/// Incremental forward + reverse-complement canonical roller.
+///
+/// Feeding one 2-bit code per base maintains both the forward window
+/// (`fwd = ((fwd << 2) | c) & mask`) and its reverse complement
+/// (`rc = (rc >> 2) | (comp(c) << 2(k-1))`) in O(1), so the canonical form
+/// `min(fwd, rc)` costs a compare instead of the O(k) per-window
+/// reconstruction the naive path pays. Callers must [`RollState::reset`]
+/// at non-ACGT bytes; the state refuses to emit until `k` consecutive codes
+/// have been pushed since the last reset.
+#[derive(Clone, Debug)]
+pub struct RollState {
+    k: u8,
+    /// 2*(k-1): where the complement of an incoming base lands in `rc`.
+    rc_shift: u8,
+    run: u32,
+    mask: u64,
+    fwd: u64,
+    rc: u64,
+}
+
+/// One complete window emitted by [`RollState::push`]: the forward word and
+/// its reverse complement, both right-aligned in the low `2k` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rolled {
+    /// Forward-strand packed word.
+    pub fwd: u64,
+    /// Reverse-complement packed word.
+    pub rc: u64,
+}
+
+impl Rolled {
+    /// The canonical (lexicographically smaller) of the two strands.
+    #[inline(always)]
+    pub fn canonical_packed(self) -> u64 {
+        self.fwd.min(self.rc)
+    }
+
+    /// True when the forward strand is canonical (ties count as forward).
+    #[inline(always)]
+    pub fn is_forward(self) -> bool {
+        self.fwd <= self.rc
+    }
+}
+
+impl RollState {
+    /// Start an empty roller for window length `k`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 || k > Kmer::MAX_K {
+            return Err(Error::InvalidK(k));
+        }
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
+        Ok(RollState {
+            k: k as u8,
+            rc_shift: (2 * (k - 1)) as u8,
+            run: 0,
+            mask,
+            fwd: 0,
+            rc: 0,
+        })
+    }
+
+    /// Window length.
+    #[inline(always)]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Forget all pushed codes (call when a non-ACGT byte breaks the run).
+    #[inline(always)]
+    pub fn reset(&mut self) {
+        self.run = 0;
+        self.fwd = 0;
+        self.rc = 0;
+    }
+
+    /// Push one 2-bit code (must be `< 4`); returns the completed window
+    /// once at least `k` codes have been pushed since the last reset.
+    #[inline(always)]
+    pub fn push(&mut self, code: u8) -> Option<Rolled> {
+        debug_assert!(code < 4);
+        self.fwd = ((self.fwd << 2) | code as u64) & self.mask;
+        self.rc = (self.rc >> 2) | ((complement_code(code) as u64) << self.rc_shift);
+        self.run += 1;
+        (self.run >= self.k as u32).then_some(Rolled {
+            fwd: self.fwd,
+            rc: self.rc,
+        })
     }
 }
 
 /// Iterator adapter yielding canonical k-mers (min of forward and revcomp).
-pub struct CanonicalKmers<'a>(KmerIter<'a>);
+///
+/// Rolls both strands incrementally via [`RollState`] — O(1) amortized per
+/// base — instead of reconstructing the reverse complement per window.
+/// Windows containing non-ACGT bytes are skipped, exactly like [`KmerIter`].
+pub struct CanonicalKmers<'a> {
+    seq: &'a [u8],
+    pos: usize,
+    state: RollState,
+    emitted: u64,
+}
 
 impl<'a> CanonicalKmers<'a> {
     /// Iterate over canonical k-mers of `seq`.
     pub fn new(seq: &'a [u8], k: usize) -> Result<Self> {
-        Ok(CanonicalKmers(KmerIter::new(seq, k)?))
+        Ok(CanonicalKmers {
+            seq,
+            pos: 0,
+            state: RollState::new(k)?,
+            emitted: 0,
+        })
     }
 }
 
@@ -249,7 +384,30 @@ impl<'a> Iterator for CanonicalKmers<'a> {
     type Item = (usize, Kmer);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.0.next().map(|(off, km)| (off, km.canonical()))
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match base_to_code(b) {
+                Some(code) => {
+                    if let Some(rolled) = self.state.push(code) {
+                        self.emitted += 1;
+                        let k = self.state.k();
+                        return Some((
+                            self.pos - k,
+                            Kmer::from_packed_unchecked(rolled.canonical_packed(), k),
+                        ));
+                    }
+                }
+                None => self.state.reset(),
+            }
+        }
+        None
+    }
+}
+
+impl<'a> Drop for CanonicalKmers<'a> {
+    fn drop(&mut self) {
+        crate::packed::add_rolled_windows(self.emitted);
     }
 }
 
@@ -410,5 +568,105 @@ mod tests {
     fn count_kmers_helper() {
         assert_eq!(count_kmers(b"ACGTACGT", 4), 5);
         assert_eq!(count_kmers(b"ACGT", 99), 0);
+    }
+
+    /// Per-base reference implementation the bit-twiddled revcomp must match.
+    fn naive_revcomp(km: Kmer) -> Kmer {
+        let mut packed = 0u64;
+        for i in 0..km.k() {
+            packed |= (complement_code(km.code_at(i)) as u64) << (2 * i);
+        }
+        Kmer::from_packed(packed, km.k()).unwrap()
+    }
+
+    #[test]
+    fn revcomp_matches_naive_reference() {
+        // Deterministic pseudo-random words across every k, including the
+        // k=32 boundary (shift by zero) and k=1 (garbage fills 62 bits).
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for k in 1..=32usize {
+            for _ in 0..64 {
+                x = x.wrapping_mul(0xd129_42e4_5bcf_5bd3).rotate_left(23) ^ 0x6a09_e667;
+                let packed = if k == 32 {
+                    x
+                } else {
+                    x & ((1u64 << (2 * k)) - 1)
+                };
+                let km = Kmer::from_packed(packed, k).unwrap();
+                assert_eq!(km.revcomp(), naive_revcomp(km), "k={k} packed={packed:#x}");
+                assert_eq!(km.revcomp().revcomp(), km, "revcomp is an involution");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_canonical_matches_per_window_reference() {
+        let seq = b"ACGTNNACGTACGTTTTGGGCCCANacgtACGTACGTACGTACGTACGTACGTACGTACGTA";
+        for k in [1usize, 2, 4, 24, 31, 32] {
+            let rolled: Vec<_> = CanonicalKmers::new(seq, k).unwrap().collect();
+            let reference: Vec<_> = KmerIter::new(seq, k)
+                .unwrap()
+                .map(|(off, km)| (off, km.canonical()))
+                .collect();
+            assert_eq!(rolled, reference, "k={k}");
+        }
+    }
+
+    #[test]
+    fn roll_state_resets_clear_both_strands() {
+        let mut st = RollState::new(2).unwrap();
+        assert!(st.push(3).is_none()); // T
+        assert_eq!(
+            st.push(3).unwrap().canonical_packed(),
+            Kmer::from_bases(b"AA").unwrap().packed() // canon(TT) = AA
+        );
+        st.reset();
+        assert!(st.push(0).is_none(), "run restarts after reset");
+        let r = st.push(1).unwrap(); // AC
+        assert_eq!(r.fwd, Kmer::from_bases(b"AC").unwrap().packed());
+        assert_eq!(r.rc, Kmer::from_bases(b"GT").unwrap().packed());
+        assert!(r.is_forward());
+    }
+
+    #[test]
+    fn size_hint_upper_bound_is_tight_and_sound() {
+        let cases: [(&[u8], usize); 6] = [
+            (b"ACGTACGTAC", 4),
+            (b"ACGTNACGT", 3),
+            (b"NNNNN", 2),
+            (b"ACNGTNACGTACG", 5),
+            (b"ACGT", 32),
+            (b"A", 1),
+        ];
+        for (seq, k) in cases {
+            let mut it = KmerIter::new(seq, k).unwrap();
+            loop {
+                let (lo, hi) = it.size_hint();
+                let actual = {
+                    let probe = KmerIter {
+                        seq: it.seq,
+                        k: it.k,
+                        pos: it.pos,
+                        current: it.current,
+                        run: it.run,
+                        mask: it.mask,
+                    };
+                    probe.count()
+                };
+                let hi = hi.expect("upper bound is always known");
+                assert!(
+                    lo <= actual && actual <= hi,
+                    "{seq:?} k={k}: {lo}..{actual}..{hi}"
+                );
+                if it.next().is_none() {
+                    break;
+                }
+            }
+            // Strict-DNA sequences: the bound is exact from the start.
+            if seq.iter().all(|&b| base_to_code(b).is_some()) {
+                let it = KmerIter::new(seq, k).unwrap();
+                assert_eq!(it.size_hint().1.unwrap(), seq.len().saturating_sub(k - 1));
+            }
+        }
     }
 }

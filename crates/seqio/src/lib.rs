@@ -6,6 +6,9 @@
 //! * [`alphabet`] — the DNA alphabet, complementation and validation;
 //! * [`kmer`] — 2-bit packed k-mers (k ≤ 32) with canonical forms and
 //!   streaming extraction from arbitrary byte sequences;
+//! * [`packed`] — whole sequences packed 2 bits/base with an N-run index,
+//!   encoded once at ingest, plus rolling canonical k-mer iterators
+//!   (O(1) amortized per base) that every hot stage consumes;
 //! * [`fasta`] / [`fastq`] — record types, readers and writers for the two
 //!   interchange formats the Trinity pipeline moves data through;
 //! * [`splitter`] — a PyFasta-equivalent even-by-bases partitioner used by
@@ -20,10 +23,12 @@ pub mod error;
 pub mod fasta;
 pub mod fastq;
 pub mod kmer;
+pub mod packed;
 pub mod splitter;
 pub mod stats;
 
 pub use error::{Error, Result};
 pub use fasta::{FastaReader, FastaWriter, Record};
 pub use fastq::{FastqReader, FastqRecord, FastqWriter};
-pub use kmer::{CanonicalKmers, Kmer, KmerIter};
+pub use kmer::{CanonicalKmers, Kmer, KmerIter, RollState, Rolled};
+pub use packed::{PackedSeq, SeqioStats};

@@ -1,9 +1,10 @@
 //! Property-based tests for the sequence substrate.
 
 use proptest::prelude::*;
-use seqio::alphabet::{revcomp, revcomp_in_place};
+use seqio::alphabet::{base_to_code, complement_code, revcomp, revcomp_in_place};
 use seqio::fasta::{parse_fasta, to_fasta_bytes, Record};
-use seqio::kmer::{Kmer, KmerIter};
+use seqio::kmer::{CanonicalKmers, Kmer, KmerIter};
+use seqio::packed::PackedSeq;
 use seqio::splitter::plan_split;
 
 use seqio::fasta::Record as FaRecord;
@@ -20,6 +21,49 @@ fn dna_with_n() -> impl Strategy<Value = Vec<u8>> {
         prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
         0..200,
     )
+}
+
+/// Mixed-case DNA with embedded N-runs and stray junk bytes — the messiest
+/// input the packed encoder must normalize.
+fn dna_messy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b'A'),
+            Just(b'c'),
+            Just(b'G'),
+            Just(b't'),
+            Just(b'N'),
+            Just(b'n'),
+            Just(b'-'),
+        ],
+        0..200,
+    )
+}
+
+/// The k values the tentpole cares about: tiny, the pipeline defaults, and
+/// both sides of the k=32 word boundary.
+fn interesting_k() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1), Just(2), Just(24), Just(25), Just(31), Just(32)]
+}
+
+/// Naive per-window reverse complement — the reference the bit-twiddled
+/// `Kmer::revcomp` must reproduce exactly.
+fn naive_revcomp(km: Kmer) -> Kmer {
+    let mut packed = 0u64;
+    for i in 0..km.k() {
+        packed |= (complement_code(km.code_at(i)) as u64) << (2 * i);
+    }
+    Kmer::from_packed(packed, km.k()).unwrap()
+}
+
+/// What `PackedSeq::decode` must return: uppercase ACGT, everything else N.
+fn normalize(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .map(|&b| match base_to_code(b) {
+            Some(c) => b"ACGT"[c as usize],
+            None => b'N',
+        })
+        .collect()
 }
 
 proptest! {
@@ -69,6 +113,71 @@ proptest! {
         let n = KmerIter::new(&seq, k).unwrap().count();
         let expect = seq.len().saturating_sub(k - 1);
         prop_assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn bit_twiddled_revcomp_matches_naive(packed in any::<u64>(), k in interesting_k()) {
+        let packed = if k == 32 { packed } else { packed & ((1u64 << (2 * k)) - 1) };
+        let km = Kmer::from_packed(packed, k).unwrap();
+        prop_assert_eq!(km.revcomp(), naive_revcomp(km));
+    }
+
+    #[test]
+    fn rolling_canonical_matches_naive_reference(seq in dna_with_n(), k in interesting_k()) {
+        let rolled: Vec<_> = CanonicalKmers::new(&seq, k).unwrap().collect();
+        let reference: Vec<_> = KmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(off, km)| (off, naive_revcomp(km).min(km)))
+            .collect();
+        prop_assert_eq!(rolled, reference);
+    }
+
+    #[test]
+    fn packed_seq_round_trips(seq in dna_messy()) {
+        let p = PackedSeq::from_bytes(&seq);
+        prop_assert_eq!(p.len(), seq.len());
+        prop_assert_eq!(p.decode(), normalize(&seq));
+        // Re-encoding the normalized form is a fixed point.
+        let p2 = PackedSeq::from_bytes(&p.decode());
+        prop_assert_eq!(p2.decode(), p.decode());
+        prop_assert_eq!(p2.runs(), p.runs());
+    }
+
+    #[test]
+    fn packed_iterators_match_byte_iterators(seq in dna_messy(), k in interesting_k()) {
+        let p = PackedSeq::from_bytes(&seq);
+        let fwd: Vec<_> = p.kmers(k).unwrap().collect();
+        let fwd_ref: Vec<_> = KmerIter::new(&seq, k).unwrap().collect();
+        prop_assert_eq!(fwd, fwd_ref);
+
+        let canon: Vec<_> = p.canonical_kmers(k).unwrap().collect();
+        let canon_ref: Vec<_> = CanonicalKmers::new(&seq, k).unwrap().collect();
+        prop_assert_eq!(canon, canon_ref);
+
+        let oriented: Vec<_> = p.oriented_kmers(k).unwrap().collect();
+        let oriented_ref: Vec<_> = KmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(off, km)| { let c = km.canonical(); (off, c, c == km) })
+            .collect();
+        prop_assert_eq!(oriented, oriented_ref);
+    }
+
+    #[test]
+    fn kmer_iter_size_hint_upper_bound_sound(seq in dna_with_n(), k in interesting_k()) {
+        let total = KmerIter::new(&seq, k).unwrap().count();
+        let mut it = KmerIter::new(&seq, k).unwrap();
+        // Before each yield, the hint must bracket the true remaining count.
+        for consumed in 0..=total {
+            let remaining = total - consumed;
+            let (lo, hi) = it.size_hint();
+            let hi = hi.expect("upper bound is always known");
+            prop_assert!(lo <= remaining && remaining <= hi,
+                "consumed={consumed}: {lo} <= {remaining} <= {hi}");
+            if consumed < total {
+                prop_assert!(it.next().is_some());
+            }
+        }
+        prop_assert!(it.next().is_none());
     }
 
     #[test]

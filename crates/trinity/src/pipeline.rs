@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use seqio::fasta::Record;
+use seqio::packed::PackedSeq;
 
 use bowtie::align::AlignConfig;
 use butterfly::transcripts::{reconstruct_component, ComponentInput, ReconstructionConfig};
@@ -23,7 +24,7 @@ use chrysalis::scaffold::{scaffold_pairs, ScaffoldConfig};
 use chrysalis::timings::{GffTimings, RttTimings};
 use inchworm::assemble::{assemble, InchwormConfig};
 use inchworm::dictionary::Dictionary;
-use kcount::counter::{count_kmers, CounterConfig};
+use kcount::counter::{count_kmers_packed, CounterConfig};
 use mpisim::{run_cluster, run_cluster_faulty, Comm, FaultPlan, NetModel};
 use omp::makespan::simulate_loop;
 use omp::pool::parallel_map_timed;
@@ -409,6 +410,14 @@ pub fn run_pipeline_opts(
         },
         prefix_valid: opts.resume,
     };
+    let seqio_before = seqio::packed::stats_snapshot();
+
+    // ---- Ingest: 2-bit pack every read exactly once ----
+    // Jellyfish counts, ReadsToTranscripts votes and Butterfly threads all
+    // consume this same encoding; no stage re-walks the ASCII.
+    let t0 = std::time::Instant::now();
+    let packed_reads: Arc<Vec<PackedSeq>> = Arc::new(seqio::packed::encode_all(reads));
+    let encode_time = t0.elapsed().as_secs_f64();
 
     // ---- Jellyfish ----
     // Counting is embarrassingly parallel over read batches (Jellyfish's
@@ -422,9 +431,9 @@ pub fn run_pipeline_opts(
             (counts, ck.duration, None)
         }
         None => {
-            let batches: Vec<&[Record]> = reads.chunks(256).collect();
+            let batches: Vec<&[PackedSeq]> = packed_reads.chunks(256).collect();
             let (tables, costs) = parallel_map_timed(&batches, |batch| {
-                count_kmers(
+                count_kmers_packed(
                     batch,
                     CounterConfig {
                         k,
@@ -445,7 +454,13 @@ pub fn run_pipeline_opts(
             }
             counts.retain_min(cfg.min_kmer_count.max(1));
             let merge_time = t0.elapsed().as_secs_f64();
-            (counts, count_time + merge_time, Some(count_sim))
+            // The one-time read encode is charged to the counting stage
+            // (the first consumer of the packed form).
+            (
+                counts,
+                encode_time + count_time + merge_time,
+                Some(count_sim),
+            )
         }
     };
     let distinct = counts.len();
@@ -492,6 +507,10 @@ pub fn run_pipeline_opts(
     // Not checkpointed: its artifact (the SAM stream) only feeds
     // scaffolding, whose result is checkpointed at QuantifyGraph.
     let contigs_arc = Arc::new(contigs);
+    // Contigs, like reads, are packed exactly once; GraphFromFasta,
+    // ReadsToTranscripts and Butterfly all share this encoding.
+    let packed_contigs: Arc<Vec<PackedSeq>> =
+        Arc::new(seqio::packed::encode_all(contigs_arc.as_ref()));
     let reads_arc = Arc::new(reads.to_vec());
     let (c_arc, r_arc, ch_cfg, al_cfg) = (
         Arc::clone(&contigs_arc),
@@ -537,7 +556,7 @@ pub fn run_pipeline_opts(
         }
         None => {
             let gff_shared = Arc::new(GffShared::prepare(
-                contigs_arc.as_ref().clone(),
+                packed_contigs.as_ref().clone(),
                 counts,
                 cfg.chrysalis,
             ));
@@ -664,9 +683,10 @@ pub fn run_pipeline_opts(
             false,
         ),
         None => {
-            let rtt_shared = Arc::new(RttShared::prepare(
+            let rtt_shared = Arc::new(RttShared::prepare_with_packed(
                 reads.to_vec(),
-                &contigs_arc,
+                packed_reads.as_ref().clone(),
+                &packed_contigs,
                 &components,
                 cfg.chrysalis,
             ));
@@ -743,17 +763,14 @@ pub fn run_pipeline_opts(
         .enumerate()
         .map(|(ci, members)| ComponentInput {
             component: ci,
-            contigs: members
-                .iter()
-                .map(|&m| contigs_arc[m].seq.clone())
-                .collect(),
+            contigs: members.iter().map(|&m| packed_contigs[m].clone()).collect(),
             reads: Vec::new(),
         })
         .collect();
     for &(r, c) in &assignments {
         comp_inputs[c as usize]
             .reads
-            .push(reads[r as usize].seq.clone());
+            .push(packed_reads[r as usize].clone());
     }
     let (transcript_lists, costs) = parallel_map_timed(&comp_inputs, |input| {
         reconstruct_component(input, cfg.reconstruction)
@@ -762,7 +779,7 @@ pub fn run_pipeline_opts(
     let transcripts: Vec<Record> = transcript_lists.into_iter().flatten().collect();
     let max_nodes = comp_inputs
         .iter()
-        .map(|c| c.contigs.iter().map(Vec::len).sum::<usize>())
+        .map(|c| c.contigs.iter().map(|s| s.len()).sum::<usize>())
         .max()
         .unwrap_or(0);
     butterfly_sim.record_metrics(&metrics, "butterfly.loop");
@@ -775,6 +792,17 @@ pub fn run_pipeline_opts(
         ram::butterfly(max_nodes),
     );
     butterfly_sim.record_spans(&log.obs, start, obs::THREAD_TRACK_BASE, "butterfly");
+
+    let seqio_after = seqio::packed::stats_snapshot();
+    metrics
+        .gauge("seqio.encoded_seqs")
+        .set((seqio_after.encoded_seqs - seqio_before.encoded_seqs) as f64);
+    metrics
+        .gauge("seqio.encoded_bases")
+        .set((seqio_after.encoded_bases - seqio_before.encoded_bases) as f64);
+    metrics
+        .gauge("seqio.rolled_windows")
+        .set((seqio_after.rolled_windows - seqio_before.rolled_windows) as f64);
 
     let mut trace = log.obs.take();
     for (dt, sub) in sub_traces {

@@ -38,7 +38,11 @@ fn main() {
         contigs.len()
     );
 
-    let shared = Arc::new(GffShared::prepare(contigs, counts, cfg.chrysalis));
+    let shared = Arc::new(GffShared::prepare(
+        seqio::packed::encode_all(&contigs),
+        counts,
+        cfg.chrysalis,
+    ));
     let baseline = gff_shared_memory(&shared).timings;
     println!(
         "baseline (1 node x {} threads): total {:.4}s (loop1 {:.4}s, loop2 {:.4}s)\n",

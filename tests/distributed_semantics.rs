@@ -49,12 +49,18 @@ fn full_chrysalis_chain_under_one_cluster() {
     // Run Bowtie -> GFF -> RTT inside a single cluster run, accumulating
     // one virtual clock per rank — the shape of the real MPI job.
     let (contigs, reads, counts, cfg) = workload();
-    let gff_shared = Arc::new(GffShared::prepare(contigs.clone(), counts, cfg));
+    let packed_contigs = Arc::new(seqio::packed::encode_all(&contigs));
+    let gff_shared = Arc::new(GffShared::prepare(
+        packed_contigs.as_ref().clone(),
+        counts,
+        cfg,
+    ));
     let contigs = Arc::new(contigs);
     let reads = Arc::new(reads);
 
-    let (c, r, g) = (
+    let (c, pc, r, g) = (
         Arc::clone(&contigs),
+        Arc::clone(&packed_contigs),
         Arc::clone(&reads),
         Arc::clone(&gff_shared),
     );
@@ -63,7 +69,7 @@ fn full_chrysalis_chain_under_one_cluster() {
         let gff = gff_hybrid(comm, &g);
         // RTT needs the component map; build it per rank from the (identical)
         // GFF output, replicated exactly like the paper's code.
-        let rtt_shared = RttShared::prepare(r.as_ref().clone(), &c, &gff.components, cfg);
+        let rtt_shared = RttShared::prepare(r.as_ref().clone(), &pc, &gff.components, cfg);
         let rtt = rtt_hybrid(comm, &rtt_shared);
         (bowtie.sam.len(), gff.pairs, rtt.assignments)
     });
@@ -107,7 +113,11 @@ fn rank_counts_beyond_work_degrade_gracefully() {
     // More ranks than contigs/chunks: idle ranks, identical results.
     let (contigs, _reads, counts, cfg) = workload();
     let n_contigs = contigs.len();
-    let gff_shared = Arc::new(GffShared::prepare(contigs, counts, cfg));
+    let gff_shared = Arc::new(GffShared::prepare(
+        seqio::packed::encode_all(&contigs),
+        counts,
+        cfg,
+    ));
     let g1 = Arc::clone(&gff_shared);
     let one = run_cluster(1, NetModel::ideal(), move |comm| {
         gff_hybrid(comm, &g1).pairs
@@ -149,7 +159,11 @@ fn communication_volume_ordering() {
     // so assert on the deterministic byte volume the `mpi.allgatherv`
     // spans carry instead.
     let (contigs, _reads, counts, cfg) = workload();
-    let gff_shared = Arc::new(GffShared::prepare(contigs, counts, cfg));
+    let gff_shared = Arc::new(GffShared::prepare(
+        seqio::packed::encode_all(&contigs),
+        counts,
+        cfg,
+    ));
     let outs = run_cluster(4, NetModel::idataplex(), move |comm| {
         let welds = gff_hybrid(comm, &gff_shared).welds.len();
         (welds, comm.track())
