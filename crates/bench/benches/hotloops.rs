@@ -308,20 +308,18 @@ fn main() {
             .map(|r| r.seconds)
             .unwrap_or(f64::NAN)
     };
-    let mut out = String::from("{\n  \"k\": 24,\n  \"workloads\": [\n");
-    let groups = ["kmer_count", "rtt_assign", "weld_scan"];
-    for (i, group) in groups.iter().enumerate() {
-        let before = second_of(&format!("{group}/naive"));
-        let after = second_of(&format!("{group}/rolling"));
-        out.push_str(&format!(
-            "    {{\"workload\": \"{group}\", \"naive_s\": {before:.6e}, \
-             \"rolling_s\": {after:.6e}, \"speedup\": {:.3}}}{}\n",
-            before / after,
-            if i + 1 == groups.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloops.json");
-    std::fs::write(path, out).expect("write BENCH_hotloops.json");
-    println!("wrote {path}");
+    let workloads: Vec<bench::benchjson::Workload> = ["kmer_count", "rtt_assign", "weld_scan"]
+        .iter()
+        .map(|group| bench::benchjson::Workload {
+            name: group.to_string(),
+            baseline_ns: second_of(&format!("{group}/naive")) * 1e9,
+            candidate_ns: second_of(&format!("{group}/rolling")) * 1e9,
+        })
+        .collect();
+    bench::benchjson::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloops.json"),
+        "hotloops",
+        K,
+        &workloads,
+    );
 }

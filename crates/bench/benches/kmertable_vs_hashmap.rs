@@ -122,19 +122,18 @@ fn main() {
             .map(|r| r.seconds)
             .unwrap_or(f64::NAN)
     };
-    let mut out = String::from("{\n  \"k\": 24,\n  \"workloads\": [\n");
-    for (i, group) in ["kmer_count", "rtt_assign"].iter().enumerate() {
-        let before = second_of(&format!("{group}/hashmap"));
-        let after = second_of(&format!("{group}/kmertable"));
-        out.push_str(&format!(
-            "    {{\"workload\": \"{group}\", \"hashmap_s\": {before:.6e}, \
-             \"kmertable_s\": {after:.6e}, \"speedup\": {:.3}}}{}\n",
-            before / after,
-            if i == 0 { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kmertable.json");
-    std::fs::write(path, out).expect("write BENCH_kmertable.json");
-    println!("wrote {path}");
+    let workloads: Vec<bench::benchjson::Workload> = ["kmer_count", "rtt_assign"]
+        .iter()
+        .map(|group| bench::benchjson::Workload {
+            name: group.to_string(),
+            baseline_ns: second_of(&format!("{group}/hashmap")) * 1e9,
+            candidate_ns: second_of(&format!("{group}/kmertable")) * 1e9,
+        })
+        .collect();
+    bench::benchjson::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kmertable.json"),
+        "kmertable",
+        K,
+        &workloads,
+    );
 }

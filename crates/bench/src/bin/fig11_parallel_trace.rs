@@ -3,9 +3,11 @@
 //!
 //! Besides the text figure on stdout, writes both runs' span timelines as
 //! Chrome `trace_event` files (`fig11_trace.json`, `fig11_baseline_trace.json`)
-//! for `chrome://tracing` / Perfetto, plus flamegraph artifacts
-//! (`fig11_flame.txt`/`.svg`, `fig11_baseline_flame.txt`/`.svg`;
-//! `--flame-out DIR` redirects them).
+//! for `chrome://tracing` / Perfetto, the critical-path/imbalance analyses
+//! (`fig11_analysis.json` with scaling efficiency vs the serial baseline,
+//! `fig11_baseline_analysis.json`; both feed `trinity diff`), plus
+//! flamegraph artifacts (`fig11_flame.txt`/`.svg`,
+//! `fig11_baseline_flame.txt`/`.svg`; `--flame-out DIR` redirects them).
 
 fn main() {
     let cli = bench::Cli::parse(std::env::args().skip(1));
@@ -17,6 +19,13 @@ fn main() {
     );
     bench::write_chrome_trace(&cli, "fig11_baseline_trace.json", &baseline);
     bench::write_chrome_trace(&cli, "fig11_trace.json", &parallel);
+    bench::write_analysis(&cli, "fig11_baseline_analysis.json", &baseline, None);
+    bench::write_analysis(
+        &cli,
+        "fig11_analysis.json",
+        &parallel,
+        Some(baseline.total_time()),
+    );
     bench::write_flame(&cli, "fig11_baseline_flame", &baseline);
     bench::write_flame(&cli, "fig11_flame", &parallel);
 }

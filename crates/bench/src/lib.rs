@@ -11,6 +11,7 @@
 //! full preset size (default).
 
 pub mod ablation_dynamic;
+pub mod benchjson;
 pub mod fig02_baseline;
 pub mod fig03_chunked_rr;
 pub mod fig04_validation;
@@ -93,6 +94,28 @@ pub fn write_flame(cli: &Cli, stem: &str, trace: &obs::Trace) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
+    }
+}
+
+/// Analyze a trace and write the `analysis.json` artifact next to the
+/// figure's trace output (same directory rules as [`write_chrome_trace`]).
+/// `baseline_total` (a serial run's total, seconds) adds the
+/// scaling-efficiency section. The artifact feeds `trinity diff` and the
+/// CI perf-gate.
+pub fn write_analysis(cli: &Cli, name: &str, trace: &obs::Trace, baseline_total: Option<f64>) {
+    let dir = cli
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("target/figs"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let analysis = obs::analyze_vs(trace, baseline_total);
+    let path = dir.join(name);
+    match std::fs::write(&path, obs::analyze::analysis_json(&analysis)) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 

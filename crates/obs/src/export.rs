@@ -15,7 +15,7 @@ use crate::span::Trace;
 use std::fmt::Write;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -34,7 +34,7 @@ fn esc(s: &str) -> String {
 }
 
 /// Format a number as strict JSON: non-finite values become 0.
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         let mut s = format!("{v}");
         if !s.contains('.') && !s.contains('e') && !s.contains('E') {
@@ -194,6 +194,100 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
     }
     out.push_str("\n}\n");
     out
+}
+
+/// Load a [`Trace`] back from JSON text: accepts both the plain
+/// [`trace_json`] format (`{"spans": ..., "counters": ..., "tracks": ...}`,
+/// seconds) and the Chrome [`chrome_trace`] format (`{"traceEvents":
+/// [...]}`, microseconds). `None` when the text is neither.
+///
+/// This is the entry point for `trinity analyze <trace.json>`: any
+/// artifact the pipeline or the figure drivers wrote can be re-analyzed
+/// offline.
+pub fn trace_from_json(text: &str) -> Option<Trace> {
+    use crate::span::{CounterSample, SpanRecord};
+    let v = crate::jsonio::parse(text)?;
+    let mut trace = Trace::default();
+    if let Some(events) = v.get("traceEvents").and_then(|e| e.as_arr()) {
+        const US: f64 = 1e-6;
+        for e in events {
+            let track = e.num("tid").unwrap_or(0.0) as u32;
+            match e.str("ph")? {
+                "X" => {
+                    let start = e.num("ts")? * US;
+                    let args = e
+                        .get("args")
+                        .and_then(|a| a.as_obj())
+                        .map(|fields| {
+                            fields
+                                .iter()
+                                .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    trace.spans.push(SpanRecord {
+                        name: e.str("name")?.to_string(),
+                        cat: e.str("cat").unwrap_or("").to_string(),
+                        track,
+                        start,
+                        end: start + e.num("dur").unwrap_or(0.0) * US,
+                        args,
+                    });
+                }
+                "C" => trace.counters.push(CounterSample {
+                    name: e.str("name")?.to_string(),
+                    track,
+                    ts: e.num("ts")? * US,
+                    value: e.get("args")?.num("value")?,
+                }),
+                "M" if e.str("name") == Some("thread_name") => {
+                    if let Some(n) = e.get("args").and_then(|a| a.str("name")) {
+                        trace.track_names.insert(track, n.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        return Some(trace);
+    }
+    let spans = v.get("spans")?.as_arr()?;
+    for s in spans {
+        trace.spans.push(SpanRecord {
+            name: s.str("name")?.to_string(),
+            cat: s.str("cat").unwrap_or("").to_string(),
+            track: s.num("track")? as u32,
+            start: s.num("start")?,
+            end: s.num("end")?,
+            args: s
+                .get("args")
+                .and_then(|a| a.as_obj())
+                .map(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        });
+    }
+    if let Some(counters) = v.get("counters").and_then(|c| c.as_arr()) {
+        for c in counters {
+            trace.counters.push(CounterSample {
+                name: c.str("name")?.to_string(),
+                track: c.num("track")? as u32,
+                ts: c.num("ts")?,
+                value: c.num("value")?,
+            });
+        }
+    }
+    if let Some(tracks) = v.get("tracks").and_then(|t| t.as_obj()) {
+        for (k, n) in tracks {
+            trace
+                .track_names
+                .insert(k.parse().ok()?, n.as_str()?.to_string());
+        }
+    }
+    Some(trace)
 }
 
 #[cfg(test)]
@@ -458,6 +552,37 @@ mod tests {
         assert!(is_valid_json(&chrome_trace(&t)));
         assert!(is_valid_json(&trace_json(&t)));
         assert!(is_valid_json(&metrics_json(&MetricsSnapshot::default())));
+    }
+
+    #[test]
+    fn plain_json_round_trips_through_trace_from_json() {
+        let t = sample_trace();
+        let back = trace_from_json(&trace_json(&t)).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_trace_from_json() {
+        let t = sample_trace();
+        let back = trace_from_json(&chrome_trace(&t)).expect("parses");
+        assert_eq!(back.spans.len(), t.spans.len());
+        assert_eq!(back.counters.len(), t.counters.len());
+        assert_eq!(back.track_names, t.track_names);
+        for (a, b) in back.spans.iter().zip(&t.spans) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.cat, b.cat);
+            assert_eq!(a.track, b.track);
+            assert!((a.start - b.start).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.end - b.end).abs() < 1e-9);
+            assert_eq!(a.args, b.args);
+        }
+    }
+
+    #[test]
+    fn trace_from_json_rejects_non_traces() {
+        assert!(trace_from_json("{}").is_none());
+        assert!(trace_from_json("not json").is_none());
+        assert!(trace_from_json("{\"spans\": 3}").is_none());
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! fixed-period stack sampler over a finished trace, turning opaque
 //! long-running spans into `profile.*` progress counter series.
 //!
+//! The analytics layer closes the loop: [`analyze`](analyze()) reduces a
+//! finished trace to an [`Analysis`] — the cross-rank critical path with
+//! per-step slack, per-stage load-imbalance statistics, a communication
+//! matrix and scaling-efficiency figures — and [`diff`](diff::diff)
+//! compares two analyses under configurable tolerance bands so CI can
+//! fail a pull request that regresses the critical path.
+//!
 //! The crate is deliberately **zero-dependency** (std only): it sits at
 //! the root of the workspace dependency graph so `mpisim`, `omp`,
 //! `kmertable`, `kcount`, `chrysalis` and `trinity` can all record into it.
@@ -47,13 +54,18 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod diff;
 pub mod export;
 pub mod flame;
+pub mod jsonio;
 pub mod metrics;
 pub mod sampler;
 pub mod span;
 pub mod stats;
 
+pub use analyze::{analyze, analyze_vs, Analysis, CommCell, PathStep, Scaling, StageStats};
+pub use diff::{diff, DiffReport, Tolerance};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
 };

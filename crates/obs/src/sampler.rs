@@ -88,7 +88,13 @@ impl Sampler {
     /// span is open yield a sample with empty `frames` (idle), so sample
     /// counts are comparable across tracks.
     pub fn samples(&self, trace: &Trace, track: u32) -> Vec<StackSample> {
-        let horizon = trace.on_track(track).map(|s| s.end).fold(0.0_f64, f64::max);
+        // Non-finite ends (a NaN-poisoned clock) would make `ts >= horizon`
+        // unreachable and loop forever — skip them when sizing the horizon.
+        let horizon = trace
+            .on_track(track)
+            .map(|s| s.end)
+            .filter(|e| e.is_finite())
+            .fold(0.0_f64, f64::max);
         let tree = trace.tree(track);
         let mut out = Vec::new();
         let mut i = 0u64;
@@ -247,6 +253,35 @@ mod tests {
         assert_eq!(Sampler::new(f64::NAN).period(), 1.0);
         // Empty trace: no samples, no panic.
         assert!(Sampler::new(1.0).samples(&Trace::default(), 0).is_empty());
+    }
+
+    #[test]
+    fn non_finite_span_ends_do_not_hang() {
+        // Before the horizon guard these looped forever: `ts >= NaN` and
+        // `ts >= inf` are both always false.
+        for end in [f64::NAN, f64::INFINITY] {
+            let tr = Tracer::new();
+            tr.record(0, "s", "poisoned", 0.0, end);
+            tr.record(0, "s", "ok", 0.0, 2.0);
+            let samples = Sampler::new(1.0).samples(&tr.take(), 0);
+            assert_eq!(samples.len(), 2, "end={end}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_and_single_span_traces() {
+        // All-zero spans: horizon equals the instant, no samples, no panic.
+        let tr = Tracer::new();
+        tr.record(0, "s", "instant", 5.0, 5.0);
+        let t = tr.take();
+        assert_eq!(Sampler::new(1.0).samples(&t, 0).len(), 5);
+        assert!(Sampler::new(1.0).folded(&t, 0).is_empty());
+        // One span, one rank: annotate emits a well-formed staircase.
+        let tr = Tracer::new();
+        tr.record(1, "s", "only", 0.0, 3.0);
+        let mut t = tr.take();
+        assert_eq!(Sampler::with_samples(&t, 3).annotate(&mut t, 1), 3);
+        assert_eq!(t.max_counter("profile.samples.only"), Some(3.0));
     }
 
     #[test]

@@ -127,19 +127,24 @@ impl Trace {
     /// `track_offset`. Used to splice per-rank cluster traces (whose virtual
     /// clocks start at 0) into a pipeline-level timeline.
     pub fn merge_shifted(&mut self, other: Trace, dt: f64, track_offset: u32) {
+        // Track ids saturate instead of wrapping: splicing a sub-trace that
+        // already carries high thread-lane ids (`THREAD_TRACK_BASE + t`)
+        // must never panic or alias low rank lanes.
         for mut s in other.spans {
             s.start += dt;
-            s.end += dt;
-            s.track += track_offset;
+            s.end = (s.end + dt).max(s.start);
+            s.track = s.track.saturating_add(track_offset);
             self.spans.push(s);
         }
         for mut c in other.counters {
             c.ts += dt;
-            c.track += track_offset;
+            c.track = c.track.saturating_add(track_offset);
             self.counters.push(c);
         }
         for (t, n) in other.track_names {
-            self.track_names.entry(t + track_offset).or_insert(n);
+            self.track_names
+                .entry(t.saturating_add(track_offset))
+                .or_insert(n);
         }
     }
 
@@ -470,6 +475,31 @@ mod tests {
         assert_eq!(a.spans[0].track, 2);
         assert_eq!(a.counters[0].ts, 10.5);
         assert_eq!(a.track_names.get(&2).map(String::as_str), Some("rank 0"));
+    }
+
+    #[test]
+    fn merge_shifted_edge_cases() {
+        // Empty trace: a no-op either way round.
+        let mut a = Trace::default();
+        a.merge_shifted(Trace::default(), 5.0, 3);
+        assert!(a.is_empty());
+        // All-zero-duration spans survive the shift with end == start.
+        let tr = Tracer::new();
+        tr.record(0, "s", "instant", 2.0, 2.0);
+        a.merge_shifted(tr.take(), 1.0, 0);
+        assert_eq!(a.spans[0].start, 3.0);
+        assert_eq!(a.spans[0].end, 3.0);
+        // Track offsets saturate instead of overflowing: splicing a trace
+        // that already carries thread-lane ids must not panic or wrap
+        // around into the rank lanes.
+        let tr = Tracer::new();
+        tr.record(u32::MAX - 1, "s", "deep", 0.0, 1.0);
+        tr.counter(u32::MAX - 1, "c", 0.5, 1.0);
+        tr.name_track(u32::MAX - 1, "deep lane");
+        a.merge_shifted(tr.take(), 0.0, 10);
+        assert_eq!(a.spans.last().unwrap().track, u32::MAX);
+        assert_eq!(a.counters.last().unwrap().track, u32::MAX);
+        assert!(a.track_names.contains_key(&u32::MAX));
     }
 
     #[test]

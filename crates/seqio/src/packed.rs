@@ -164,6 +164,51 @@ impl PackedSeq {
         out
     }
 
+    /// The packed 2-bit words, MSB-first (see the type docs for the
+    /// layout). This is the wire form: checkpoint codecs and rank
+    /// exchanges serialize these words directly instead of re-encoding
+    /// ASCII.
+    #[inline(always)]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassemble a sequence from its serialized parts ([`PackedSeq::len`],
+    /// [`PackedSeq::words`], [`PackedSeq::runs`]) without re-encoding.
+    ///
+    /// Returns `None` unless the parts are mutually consistent: the word
+    /// count matches `len`, padding bits past `len` are zero (so the
+    /// result compares equal to a fresh [`PackedSeq::from_bytes`] encode),
+    /// and the runs are sorted, non-adjacent, non-overlapping and in
+    /// bounds. Malformed checkpoint payloads are rejected rather than
+    /// trusted.
+    pub fn from_parts(len: usize, words: Vec<u64>, runs: Vec<(usize, usize)>) -> Option<Self> {
+        if words.len() != len.div_ceil(32) {
+            return None;
+        }
+        if len % 32 != 0 {
+            if let Some(&last) = words.last() {
+                // The last word's low (unused) bits must be zero so the
+                // round trip is bit-identical to a fresh encode.
+                let used_bits = 2 * (len % 32);
+                if last & ((1u64 << (64 - used_bits)) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        let mut prev_end = 0usize;
+        for (i, &(s, e)) in runs.iter().enumerate() {
+            // Runs are maximal: consecutive runs must be separated by at
+            // least one gap base, exactly as `from_bytes` produces them.
+            let min_start = if i == 0 { 0 } else { prev_end + 1 };
+            if s < min_start || e <= s || e > len {
+                return None;
+            }
+            prev_end = e;
+        }
+        Some(PackedSeq { words, len, runs })
+    }
+
     /// Forward k-mers at every gap-free window, as `(offset, kmer)`.
     pub fn kmers(&self, k: usize) -> Result<PackedKmers<'_>> {
         Ok(PackedKmers {
@@ -326,6 +371,45 @@ impl<'a> Iterator for PackedOrientedKmers<'a> {
 mod tests {
     use super::*;
     use crate::kmer::{CanonicalKmers, KmerIter};
+
+    #[test]
+    fn from_parts_round_trips_serialized_form() {
+        for seq in [
+            &b""[..],
+            b"ACGT",
+            b"acgtNxACGT-",
+            b"NNNN",
+            b"ACGTACGTACGTACGTACGTACGTACGTACGTACG", // crosses a word boundary
+        ] {
+            let p = PackedSeq::from_bytes(seq);
+            let back = PackedSeq::from_parts(p.len(), p.words().to_vec(), p.runs().to_vec())
+                .expect("own parts are consistent");
+            assert_eq!(back, p, "{:?}", String::from_utf8_lossy(seq));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_payloads() {
+        let p = PackedSeq::from_bytes(b"ACGTACGT");
+        // Wrong word count.
+        assert!(PackedSeq::from_parts(p.len(), vec![], p.runs().to_vec()).is_none());
+        // Nonzero padding bits past len.
+        let mut words = p.words().to_vec();
+        words[0] |= 1;
+        assert!(PackedSeq::from_parts(p.len(), words, p.runs().to_vec()).is_none());
+        // Out-of-bounds, empty, overlapping and adjacent (non-maximal) runs.
+        for bad in [
+            vec![(0usize, 9usize)],
+            vec![(3, 3)],
+            vec![(0, 4), (2, 8)],
+            vec![(0, 4), (4, 8)],
+        ] {
+            assert!(
+                PackedSeq::from_parts(p.len(), p.words().to_vec(), bad.clone()).is_none(),
+                "{bad:?}"
+            );
+        }
+    }
 
     #[test]
     fn round_trip_normalizes() {

@@ -19,6 +19,21 @@
 //!
 //! `--simulate tiny:7` generates a synthetic dataset instead of reading
 //! files (handy for smoke tests; see `simulate::datasets`).
+//!
+//! Two analytics subcommands close the loop on the recorded artifacts:
+//!
+//! ```text
+//! trinity analyze <trace.json | run-dir> [--baseline PATH] [--out FILE]
+//! trinity diff <baseline> <current> [--tol-rel F] [--tol-abs S] [--json]
+//! ```
+//!
+//! `analyze` loads a finished trace (Chrome or plain JSON), computes the
+//! cross-rank critical path, per-stage imbalance, comm matrix and (with
+//! `--baseline`, a serial run's trace or analysis) scaling efficiency,
+//! writes `analysis.json` and prints the tables. `diff` compares two
+//! artifacts — `analysis.json`, raw traces, or `trinity-bench/v1` files —
+//! under tolerance bands and exits non-zero on a regression, which is the
+//! CI perf-gate.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -32,7 +47,10 @@ use seqio::fastq::FastqReader;
 use seqio::stats::length_stats;
 use simulate::datasets::{Dataset, DatasetPreset};
 use trinity::pipeline::{run_pipeline_opts, PipelineConfig, PipelineMode, RunOptions};
-use trinity::report::{render_bars, render_faults, render_self_time, render_trace};
+use trinity::report::{
+    render_bars, render_critical_path, render_faults, render_imbalance, render_self_time,
+    render_trace,
+};
 
 struct Args {
     reads: Vec<PathBuf>,
@@ -52,7 +70,9 @@ fn usage() -> &'static str {
      [--nprocs N] [--threads T] [--kmer K] [--flame-out DIR] \
      [--simulate tiny|whitefly|schizo|drosophila|sugarbeet[:SEED]] \
      [--faults SEED[,delay=P][,drop=P][,crash=RANK@OP]...] \
-     [--checkpoint DIR] [--resume]"
+     [--checkpoint DIR] [--resume]\n\
+     \x20      trinity analyze <trace.json | run-dir> [--baseline PATH] [--out FILE]\n\
+     \x20      trinity diff <baseline> <current> [--tol-rel F] [--tol-abs S] [--json]"
 }
 
 /// Parse a `--faults` spec: a mandatory RNG seed, then comma-separated
@@ -246,14 +266,22 @@ fn run() -> Result<(), String> {
     for &(r, c) in &out.assignments {
         writeln!(f, "{}\tcomp{c}", reads[r as usize].id).map_err(|e| e.to_string())?;
     }
+    let analysis = obs::analyze(&out.trace);
+    std::fs::write(
+        args.out.join("analysis.json"),
+        obs::analyze::analysis_json(&analysis),
+    )
+    .map_err(|e| e.to_string())?;
     let fault_report = render_faults(&out.metrics);
     std::fs::write(
         args.out.join("collectl.txt"),
         format!(
-            "{}\n{}\n{}{}",
+            "{}\n{}\n{}\n{}\n{}{}",
             render_trace(&out.trace),
             render_bars(&out.trace, 50),
             render_self_time(&out.trace, 15),
+            render_critical_path(&analysis),
+            render_imbalance(&analysis),
             if fault_report.is_empty() {
                 String::new()
             } else {
@@ -304,7 +332,224 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+// ---- analytics subcommands ---------------------------------------------
+
+/// Resolve an analyze/diff input: a run directory means its `trace.json`.
+fn resolve_trace_path(p: &Path) -> PathBuf {
+    if p.is_dir() {
+        p.join("trace.json")
+    } else {
+        p.to_path_buf()
+    }
+}
+
+/// Load a trace artifact (Chrome or plain JSON) from a file or run dir.
+fn load_trace(p: &Path) -> Result<obs::Trace, String> {
+    let path = resolve_trace_path(p);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    obs::export::trace_from_json(&text)
+        .ok_or_else(|| format!("{}: not a trace artifact", path.display()))
+}
+
+/// The serial-baseline total for `--baseline`: accepts an `analysis.json`
+/// (its `total_s`) or any trace artifact (analyzed on the fly).
+fn load_baseline_total(p: &Path) -> Result<f64, String> {
+    let path = resolve_trace_path(p);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(a) = obs::analyze::parse_analysis(&text) {
+            return Ok(a.total);
+        }
+    }
+    Ok(obs::analyze(&load_trace(p)?).total)
+}
+
+/// `trinity analyze <trace.json | run-dir> [--baseline PATH] [--out FILE]`.
+fn run_analyze(argv: &[String]) -> Result<(), String> {
+    let mut input: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--out" => out_path = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            other if input.is_none() && !other.starts_with("--") => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("analyze: unexpected argument {other:?}")),
+        }
+    }
+    let input = input
+        .ok_or("usage: trinity analyze <trace.json | run-dir> [--baseline PATH] [--out FILE]")?;
+    let trace = load_trace(&input)?;
+    let baseline_total = baseline.map(|p| load_baseline_total(&p)).transpose()?;
+    let analysis = obs::analyze_vs(&trace, baseline_total);
+
+    let out_path = out_path.unwrap_or_else(|| {
+        resolve_trace_path(&input)
+            .parent()
+            .unwrap_or(Path::new("."))
+            .join("analysis.json")
+    });
+    std::fs::write(&out_path, obs::analyze::analysis_json(&analysis))
+        .map_err(|e| format!("{}: {e}", out_path.display()))?;
+
+    print!("{}", render_critical_path(&analysis));
+    println!();
+    print!("{}", render_imbalance(&analysis));
+    if !analysis.comm.is_empty() {
+        println!();
+        println!(
+            "{:<18} {:>6} {:>8} {:>14} {:>10}",
+            "collective", "lane", "calls", "bytes", "time (s)"
+        );
+        for c in &analysis.comm {
+            println!(
+                "{:<18} {:>6} {:>8} {:>14.0} {:>10.4}",
+                c.op,
+                format!("r{}", c.track.saturating_sub(1)),
+                c.calls,
+                c.bytes,
+                c.time
+            );
+        }
+    }
+    if let Some(s) = &analysis.scaling {
+        println!();
+        println!(
+            "scaling vs baseline: {:.3}s -> {:.3}s on {} ranks = {:.2}x speedup, \
+             {:.0}% efficiency{}",
+            s.baseline_total,
+            s.total,
+            s.ranks,
+            s.speedup,
+            100.0 * s.efficiency,
+            match s.serial_fraction {
+                Some(f) => format!(", Karp-Flatt serial fraction {f:.3}"),
+                None => String::new(),
+            }
+        );
+    }
+    eprintln!("wrote {}", out_path.display());
+    Ok(())
+}
+
+/// Timing series of one diff input: an `analysis.json`, a raw trace, or a
+/// `trinity-bench/v1` file (workload candidate times, in seconds).
+fn load_series(p: &Path) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let path = resolve_trace_path(p);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(a) = obs::analyze::parse_analysis(&text) {
+        return Ok(obs::diff::analysis_series(&a));
+    }
+    if let Some(v) = obs::jsonio::parse(&text) {
+        if v.str("schema") == Some("trinity-bench/v1") {
+            let bench = v.str("bench").unwrap_or("bench");
+            let mut series = std::collections::BTreeMap::new();
+            for w in v
+                .get("workloads")
+                .and_then(|w| w.as_arr())
+                .unwrap_or_default()
+            {
+                if let (Some(name), Some(ns)) = (w.str("name"), w.num("candidate_ns")) {
+                    series.insert(format!("bench:{bench}:{name}"), ns * 1e-9);
+                }
+            }
+            return Ok(series);
+        }
+    }
+    if let Some(trace) = obs::export::trace_from_json(&text) {
+        return Ok(obs::diff::analysis_series(&obs::analyze(&trace)));
+    }
+    Err(format!(
+        "{}: not an analysis, trace, or trinity-bench/v1 artifact",
+        path.display()
+    ))
+}
+
+/// `trinity diff <baseline> <current> [--tol-rel F] [--tol-abs S] [--json]`.
+/// Exits non-zero (via the returned flag) when a regression clears the
+/// tolerance bands.
+fn run_diff(argv: &[String]) -> Result<bool, String> {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut tol = obs::Tolerance::default();
+    let mut json = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol-rel" => {
+                tol.rel = it
+                    .next()
+                    .ok_or("--tol-rel needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tol-rel: {e}"))?
+            }
+            "--tol-abs" => {
+                tol.abs_s = it
+                    .next()
+                    .ok_or("--tol-abs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tol-abs: {e}"))?
+            }
+            "--json" => json = true,
+            other if !other.starts_with("--") => inputs.push(PathBuf::from(other)),
+            other => return Err(format!("diff: unexpected argument {other:?}")),
+        }
+    }
+    let [baseline, current] = inputs.as_slice() else {
+        return Err(
+            "usage: trinity diff <baseline> <current> [--tol-rel F] [--tol-abs S] [--json]"
+                .to_string(),
+        );
+    };
+    let base = load_series(baseline)?;
+    let cur = load_series(current)?;
+    let report = obs::diff::diff_series(&base, &cur, tol);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.passed() {
+        eprintln!(
+            "perf regression vs {} (tolerance: +{:.0}% and +{:.0} ms). If this \
+             slowdown is intended, refresh the baseline:\n  trinity analyze <run-dir> \
+             --out {}",
+            baseline.display(),
+            100.0 * tol.rel,
+            1e3 * tol.abs_s,
+            baseline.display(),
+        );
+    }
+    Ok(report.passed())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("analyze") => {
+            return match run_analyze(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            return match run_diff(&argv[1..]) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {}
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic      8 bytes   b"TRNCKPT1"
-//! version    u32 LE    format version (currently 1)
+//! version    u32 LE    format version (currently 2)
 //! fprint     u64 LE    run fingerprint (hash of reads + config knobs)
 //! stage      u32 LE length + UTF-8 bytes
 //! duration   f64 LE bits   the stage's virtual duration, replayed on resume
@@ -19,6 +19,14 @@
 //! checkpoint to the exact input reads and configuration that produced it;
 //! `--resume` against a different dataset silently falls back to a full
 //! run rather than resurrecting stale artifacts.
+//!
+//! Format version 2 changed the record codec: sequences serialize as
+//! 2-bit [`PackedSeq`] words plus the N-run index (≈4x smaller than the
+//! v1 ASCII bytes), with a per-record raw-bytes fallback for sequences
+//! the packing cannot restore losslessly (lowercase or IUPAC input).
+//! Version-1 files are rejected with [`CkptError::BadVersion`] and the
+//! stage recomputed — resume never trusts a payload written under a
+//! different codec.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,11 +34,12 @@ use std::path::{Path, PathBuf};
 use kcount::counter::KmerCounts;
 use seqio::fasta::Record;
 use seqio::kmer::Kmer;
+use seqio::packed::PackedSeq;
 
 /// File magic: "TRiNity ChecKPoinT, format 1".
 pub const MAGIC: [u8; 8] = *b"TRNCKPT1";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -291,19 +300,47 @@ pub fn decode_counts(payload: &[u8]) -> Option<KmerCounts> {
     r.is_empty().then_some(counts)
 }
 
+/// Per-record sequence encoding: 2-bit packed words + N-run index.
+const SEQ_PACKED: u8 = 1;
+/// Per-record sequence encoding: raw ASCII bytes (lossless fallback).
+const SEQ_RAW: u8 = 0;
+
 /// Encode FASTA records (id, description, sequence per record).
+///
+/// Sequences ship as 2-bit [`PackedSeq`] words plus the N-run index —
+/// ≈4x smaller than ASCII for clean ACGT data. A sequence the packing
+/// cannot restore byte-for-byte (lowercase bases, IUPAC codes other than
+/// `N`) falls back to raw bytes under a per-record flag, so the codec is
+/// lossless for every input.
 pub fn encode_records(records: &[Record]) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, records.len() as u64);
     for rec in records {
         put_bytes(&mut buf, rec.id.as_bytes());
         put_bytes(&mut buf, rec.desc.as_bytes());
-        put_bytes(&mut buf, &rec.seq);
+        let packed = PackedSeq::from_bytes(&rec.seq);
+        if packed.decode() == rec.seq {
+            buf.push(SEQ_PACKED);
+            put_u64(&mut buf, packed.len() as u64);
+            for &w in packed.words() {
+                put_u64(&mut buf, w);
+            }
+            let runs = packed.runs();
+            put_u64(&mut buf, runs.len() as u64);
+            for &(s, e) in runs {
+                put_u64(&mut buf, s as u64);
+                put_u64(&mut buf, e as u64);
+            }
+        } else {
+            buf.push(SEQ_RAW);
+            put_bytes(&mut buf, &rec.seq);
+        }
     }
     buf
 }
 
-/// Decode [`encode_records`].
+/// Decode [`encode_records`]; `None` on any structural problem, including
+/// packed parts [`PackedSeq::from_parts`] refuses to reassemble.
 pub fn decode_records(payload: &[u8]) -> Option<Vec<Record>> {
     let mut r = Reader::new(payload);
     let n = r.u64()?;
@@ -311,7 +348,29 @@ pub fn decode_records(payload: &[u8]) -> Option<Vec<Record>> {
     for _ in 0..n {
         let id = String::from_utf8(r.blob64()?.to_vec()).ok()?;
         let desc = String::from_utf8(r.blob64()?.to_vec()).ok()?;
-        let seq = r.blob64()?.to_vec();
+        let seq = match *r.take(1)?.first()? {
+            SEQ_PACKED => {
+                let len = usize::try_from(r.u64()?).ok()?;
+                // The word count is implied by the length; the Reader
+                // bounds-checks it, so an absurd length fails cleanly
+                // instead of allocating.
+                let word_bytes = r.take(len.div_ceil(32).checked_mul(8)?)?;
+                let words: Vec<u64> = word_bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect();
+                let run_count = r.u64()?;
+                let mut runs = Vec::new();
+                for _ in 0..run_count {
+                    let s = usize::try_from(r.u64()?).ok()?;
+                    let e = usize::try_from(r.u64()?).ok()?;
+                    runs.push((s, e));
+                }
+                PackedSeq::from_parts(len, words, runs)?.decode()
+            }
+            SEQ_RAW => r.blob64()?.to_vec(),
+            _ => return None,
+        };
         out.push(Record { id, desc, seq });
     }
     r.is_empty().then_some(out)
@@ -507,8 +566,108 @@ mod tests {
                 desc: String::new(),
                 seq: b"GGGG".to_vec(),
             },
+            // Gaps exercise the N-run index path.
+            Record {
+                id: "r3".into(),
+                desc: "gappy".into(),
+                seq: b"NNACGTNNNNGGGGN".to_vec(),
+            },
+            // Crosses the 32-base word boundary.
+            Record {
+                id: "r4".into(),
+                desc: String::new(),
+                seq: b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTA".to_vec(),
+            },
+            Record {
+                id: "empty".into(),
+                desc: String::new(),
+                seq: Vec::new(),
+            },
         ];
         assert_eq!(decode_records(&encode_records(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn records_codec_falls_back_to_raw_for_unpackable_bytes() {
+        // Lowercase and IUPAC bytes don't survive 2-bit packing; the codec
+        // must keep them byte-identical via the raw fallback.
+        let recs = vec![
+            Record {
+                id: "soft".into(),
+                desc: "masked".into(),
+                seq: b"acgtACGT".to_vec(),
+            },
+            Record {
+                id: "iupac".into(),
+                desc: String::new(),
+                seq: b"ACGTRYSWKM".to_vec(),
+            },
+        ];
+        let buf = encode_records(&recs);
+        assert_eq!(decode_records(&buf).unwrap(), recs);
+        assert!(buf.contains(&SEQ_RAW));
+    }
+
+    #[test]
+    fn packed_records_are_much_smaller_than_ascii() {
+        // ~4x: 2 bits/base instead of 8, with only a constant per-record
+        // overhead (len + run index).
+        let recs: Vec<Record> = (0..16)
+            .map(|i| {
+                let seq: Vec<u8> = (0..4096).map(|j| b"ACGT"[(i + j) % 4]).collect();
+                Record {
+                    id: format!("r{i}"),
+                    desc: String::new(),
+                    seq,
+                }
+            })
+            .collect();
+        let packed_size = encode_records(&recs).len();
+        let ascii_size: usize = recs.iter().map(|r| r.seq.len()).sum();
+        assert!(
+            packed_size * 3 < ascii_size,
+            "packed {packed_size} vs ascii {ascii_size}"
+        );
+        assert_eq!(decode_records(&encode_records(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn records_codec_rejects_truncation_and_bad_parts() {
+        let recs = vec![Record {
+            id: "r".into(),
+            desc: String::new(),
+            seq: b"NNACGTACGTNN".to_vec(),
+        }];
+        let buf = encode_records(&recs);
+        for cut in 1..buf.len() {
+            assert!(decode_records(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        // Corrupt the run index (swap a run end past len): from_parts
+        // must refuse rather than build an inconsistent sequence.
+        let mut bad = buf.clone();
+        let pos = bad.len() - 8;
+        bad[pos..].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(decode_records(&bad).is_none());
+    }
+
+    #[test]
+    fn old_version_checkpoints_rejected() {
+        let dir = tmpdir("oldver");
+        // Rewrite a valid file's version field to 1 and fix up the
+        // checksum: a structurally sound v1 file whose payload codec we
+        // no longer trust.
+        let path = save(&dir, 9, "Stage", 0.0, b"payload").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let n = bytes.len();
+        let sum = fnv1a64(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&dir, 9, "Stage"),
+            Err(CkptError::BadVersion(1))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

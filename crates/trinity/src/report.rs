@@ -98,6 +98,61 @@ pub fn render_self_time(trace: &Trace, limit: usize) -> String {
     out
 }
 
+/// Render the cross-rank critical path of an [`obs::Analysis`]: one row
+/// per path step with its lane, exclusive contribution and slack (the
+/// most total runtime fixing only that span could save). Contributions
+/// sum to the analyzed total — the table *is* the wall-clock, itemized.
+pub fn render_critical_path(analysis: &obs::Analysis) -> String {
+    let mut out = format!(
+        "critical path (total {:.3} s)\n{:<26} {:>6} {:>12} {:>12} {:>8}\n",
+        analysis.total, "span", "lane", "contrib (s)", "slack (s)", "share"
+    );
+    for step in &analysis.critical_path {
+        let lane = if step.track == 0 {
+            "pipe".to_string()
+        } else {
+            format!("r{}", step.track - 1)
+        };
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>12.3} {:>12.3} {:>7.1}%\n",
+            step.name,
+            lane,
+            step.contribution,
+            step.slack,
+            100.0 * step.contribution / analysis.total.max(f64::MIN_POSITIVE),
+        ));
+    }
+    out
+}
+
+/// Render the per-stage load-imbalance table of an [`obs::Analysis`]:
+/// max/mean rank busy time, the max/mean imbalance factor, the idle
+/// fraction lost to waiting on the straggler, and which rank it was.
+/// Serial stages (no rank lanes) render with a `-` straggler.
+pub fn render_imbalance(analysis: &obs::Analysis) -> String {
+    let mut out = format!(
+        "{:<20} {:>6} {:>10} {:>10} {:>9} {:>7} {:>10}\n",
+        "stage", "ranks", "max (s)", "mean (s)", "max/mean", "idle", "straggler"
+    );
+    for s in &analysis.stages {
+        let straggler = match s.straggler {
+            Some(t) => format!("r{}", t.saturating_sub(1)),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>10.3} {:>10.3} {:>9.2} {:>6.1}% {:>10}\n",
+            s.name,
+            s.lane_busy.len(),
+            s.max_busy,
+            s.mean_busy,
+            s.imbalance,
+            100.0 * s.idle_frac,
+            straggler,
+        ));
+    }
+    out
+}
+
 /// Render the fault-injection / recovery summary from a run's metrics:
 /// injected delays and retransmissions, rank crashes and stage replays,
 /// checkpoint writes/resumes. Returns an empty string for a fault-free,
@@ -188,6 +243,32 @@ mod tests {
         assert!(render_trace(&t).contains("TOTAL"));
         assert_eq!(render_bars(&t, 10), "");
         assert_eq!(render_self_time(&t, 5).lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn critical_path_and_imbalance_tables() {
+        let tr = obs::Tracer::new();
+        tr.record(0, "stage", "Jellyfish", 0.0, 2.0);
+        tr.record(0, "stage", "GraphFromFasta", 2.0, 10.0);
+        tr.record(1, "work", "gff.total", 2.0, 7.0);
+        tr.record(2, "work", "gff.total", 2.0, 9.0);
+        let a = obs::analyze(&tr.take());
+        let cp = render_critical_path(&a);
+        assert!(cp.contains("critical path (total 10.000 s)"), "{cp}");
+        assert!(cp.contains("GraphFromFasta"), "{cp}");
+        assert!(cp.contains("gff.total"), "{cp}");
+        assert!(cp.contains("r1"), "straggler lane labeled: {cp}");
+        let im = render_imbalance(&a);
+        assert!(im.contains("straggler"), "{im}");
+        assert!(im.contains("GraphFromFasta"), "{im}");
+        assert!(im.contains("r1"), "{im}");
+        // Serial stage renders a dash, not a bogus rank.
+        let jf_line = im.lines().find(|l| l.contains("Jellyfish")).unwrap();
+        assert!(jf_line.trim_end().ends_with('-'), "{jf_line}");
+        // Degenerate input stays renderable.
+        let empty = obs::analyze(&Trace::default());
+        assert!(render_critical_path(&empty).contains("critical path"));
+        assert!(render_imbalance(&empty).contains("stage"));
     }
 
     #[test]

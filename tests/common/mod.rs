@@ -33,6 +33,10 @@ pub const WORKLOAD_SEED: u64 = 5;
 /// every fault plan must reproduce byte-for-byte.
 pub const CHAOS_WORKLOAD_SEED: u64 = 41;
 
+/// Workload for `trace_analytics`: the fixed-seed 4-rank run whose
+/// critical path must account for the full wall-clock.
+pub const ANALYTICS_SEED: u64 = 43;
+
 /// Base seed for the chaos fault plans; plan `i` uses
 /// `CHAOS_PLAN_SEED_BASE + i` so each plan draws a distinct but
 /// reproducible decision stream.
